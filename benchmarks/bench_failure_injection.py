@@ -1,0 +1,58 @@
+"""Extension: Monte-Carlo operation vs the Table 5 downtime model.
+
+Simulates four years of operation for each Table 5 cluster with
+Poisson failure arrivals and packaging-specific blast radii, and
+cross-checks the averaged downtime cost against the closed-form figures
+the TCO model uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import TABLE5_CLUSTERS
+from repro.cluster.management import ClusterOperationSim
+from repro.metrics.report import format_table
+
+HOURS = 35_040.0
+SEEDS = 25
+
+
+def _study():
+    rows = []
+    for cluster in TABLE5_CLUSTERS:
+        expected = ClusterOperationSim(cluster).expected_lost_cpu_hours(
+            HOURS
+        )
+        reports = [
+            ClusterOperationSim(cluster, seed=s).run(HOURS)
+            for s in range(SEEDS)
+        ]
+        lost = float(np.mean([r.lost_cpu_hours for r in reports]))
+        avail = float(np.mean([r.availability for r in reports]))
+        rows.append(
+            [
+                cluster.name,
+                round(expected, 1),
+                round(lost, 1),
+                f"{avail:.4%}",
+                round(lost * 5.0, 0),
+            ]
+        )
+    return rows
+
+
+def test_failure_injection_matches_tco(benchmark, archive):
+    rows = benchmark.pedantic(_study, rounds=1, iterations=1)
+    text = format_table(
+        ["Cluster", "Analytic lost CPU-h", "Monte-Carlo lost CPU-h",
+         "Availability", "Downtime cost ($)"],
+        rows,
+        title="Failure injection: simulated operation vs the TCO model",
+    )
+    archive("failure_injection", text)
+    for name, expected, measured, _, _ in rows:
+        if expected > 0:
+            assert measured == pytest.approx(expected, rel=0.4), name
+    blade = next(r for r in rows if r[0] == "MetaBlade")
+    traditional = [r for r in rows if r[0] != "MetaBlade"]
+    assert all(blade[2] < t[2] for t in traditional)

@@ -1,0 +1,45 @@
+"""Extension: the Top500/Green500 inversion the paper argued for.
+
+Section 4 critiques ranking supercomputers by Linpack flops alone; the
+authors' follow-on work created the Green500.  The bench runs a real
+(verified) Linpack solve for the kernel, rates the modelled clusters,
+and shows the two rankings invert for the Bladed Beowulfs.
+"""
+
+import pytest
+
+from repro.hpl import green500_list, linpack_solve, top500_list
+from repro.metrics.report import format_table
+
+
+def _study():
+    kernel = linpack_solve(200)
+    assert kernel.passed
+    top = top500_list()
+    green = green500_list()
+    return kernel, top, green
+
+
+def test_green500_inversion(benchmark, archive):
+    kernel, top, green = benchmark.pedantic(_study, rounds=1, iterations=1)
+    text = (
+        format_table(
+            ["#", "Machine", "Linpack Gflops", "kW"],
+            [[e.rank, e.name, round(e.gflops, 1), e.power_kw]
+             for e in top],
+            title="Top500-style ranking (by flops)",
+        )
+        + "\n\n"
+        + format_table(
+            ["#", "Machine", "Gflops/kW"],
+            [[e.rank, e.name, round(e.gflops_per_kw, 2)] for e in green],
+            title="Green500-style ranking (by flops per watt)",
+        )
+        + f"\n\nLinpack kernel verified: n={kernel.n}, "
+        f"scaled residual {kernel.residual:.3f} (< 16)"
+    )
+    archive("green500_inversion", text)
+    top_names = [e.name for e in top]
+    green_names = [e.name for e in green]
+    assert top_names.index("Avalon") < top_names.index("MetaBlade")
+    assert green_names.index("MetaBlade") < green_names.index("Avalon")

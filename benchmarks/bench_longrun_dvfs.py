@@ -1,0 +1,52 @@
+"""Extension: LongRun DVFS energy-to-solution frontier.
+
+Runs the Karp microkernel through the CMS pipeline and prices every
+TM5600 LongRun step: higher steps always finish sooner, but voltage
+scaling puts the energy minimum part-way down the ladder (with the
+static floor penalising the bottom step) - the knob the project's
+energy-efficiency successors were built on.
+"""
+
+import pytest
+
+from repro.cpus.longrun import TM5600_LONGRUN, TM5800_LONGRUN, energy_study
+from repro.isa import programs
+from repro.metrics.report import format_table
+
+
+def _study():
+    workload = programs.gravity_microkernel_karp(n=48, passes=30)
+    rows = []
+    for label, model in (("TM5600", TM5600_LONGRUN),
+                         ("TM5800", TM5800_LONGRUN)):
+        for point in energy_study(workload, model):
+            rows.append(
+                [
+                    label,
+                    point.mhz,
+                    point.volts,
+                    round(point.power_watts, 2),
+                    round(point.time_s * 1e3, 2),
+                    round(point.energy_j * 1e3, 3),
+                ]
+            )
+    return rows
+
+
+def test_longrun_dvfs(benchmark, archive):
+    rows = benchmark.pedantic(_study, rounds=1, iterations=1)
+    text = format_table(
+        ["Part", "MHz", "V", "Power (W)", "Time (ms)", "Energy (mJ)"],
+        rows,
+        title="LongRun DVFS: energy-to-solution across the ladder",
+    )
+    archive("longrun_dvfs", text)
+    for part in ("TM5600", "TM5800"):
+        part_rows = [r for r in rows if r[0] == part]
+        energies = [r[5] for r in part_rows]
+        # Top step is never the energy optimum.
+        assert energies.index(min(energies)) < len(energies) - 1
+    # The TM5800 beats the TM5600 on energy at every common workload.
+    e5600 = min(r[5] for r in rows if r[0] == "TM5600")
+    e5800 = min(r[5] for r in rows if r[0] == "TM5800")
+    assert e5800 < e5600

@@ -1,0 +1,21 @@
+"""Table 1: Mflops of the gravitational microkernel on five CPUs.
+
+Paper constraint set (the transcribed cells are garbled; see
+EXPERIMENTS.md): Karp > math-sqrt on every CPU; the TM5600 as good as
+or better than the comparably clocked PIII/Alpha; Power3 and Athlon on
+top.
+"""
+
+import pytest
+
+from repro.core import experiment_table1
+
+
+def test_table1_microkernel(benchmark, archive):
+    result = benchmark.pedantic(
+        experiment_table1, rounds=1, iterations=1
+    )
+    archive("table1_microkernel", result.text)
+    for row in result.rows:
+        _, math_mflops, karp_mflops = row
+        assert karp_mflops > math_mflops

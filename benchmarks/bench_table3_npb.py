@@ -1,0 +1,26 @@
+"""Table 3: single-processor NPB Mops on four CPUs.
+
+Paper prose constraints: the TM5600 performs about as well as the
+500-MHz Pentium III and about one-third as well as the Athlon MP and
+Power3 on the CFD-style codes.
+"""
+
+import pytest
+
+from repro.core import experiment_table3
+
+
+def test_table3_npb(benchmark, archive):
+    result = benchmark.pedantic(
+        experiment_table3, kwargs=dict(letter="S"), rounds=1, iterations=1
+    )
+    archive("table3_npb", result.text)
+    header = result.headers
+    tm_col = header.index("Transmeta TM5600")
+    athlon_col = header.index("AMD Athlon MP")
+    piii_col = header.index("Intel Pentium III")
+    for row in result.rows:
+        if row[0] in ("BT", "SP", "LU", "MG"):
+            tm = row[tm_col]
+            assert 0.6 < tm / row[piii_col] < 1.1
+            assert 2.0 < row[athlon_col] / tm < 4.0

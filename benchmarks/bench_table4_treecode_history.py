@@ -1,0 +1,22 @@
+"""Table 4: historical treecode performance ladder.
+
+Paper constraints: MetaBlade2 places only behind the SGI Origin 2000 in
+Mflops/processor; the TM5600 is about twice Loki's Pentium Pro and in
+the neighbourhood of Avalon's Alphas.
+"""
+
+import pytest
+
+from repro.core import experiment_table4
+
+
+def test_table4_treecode_history(benchmark, archive):
+    result = benchmark.pedantic(experiment_table4, rounds=1, iterations=1)
+    archive("table4_treecode_history", result.text)
+    machines = [row[0] for row in result.rows]
+    assert machines[0] == "LANL SGI Origin 2000"
+    assert machines[1] == "SC'01 MetaBlade2"
+    by_machine = {row[0]: row[3] for row in result.rows}
+    tm = by_machine["LANL MetaBlade"]
+    assert 1.5 < tm / by_machine["LANL Loki"] < 2.5
+    assert 0.5 < tm / by_machine["LANL Avalon"] < 1.1

@@ -1,0 +1,30 @@
+"""Table 5: four-year TCO of five comparably-equipped 24-node clusters.
+
+This is the paper's fully-surviving table; the bench checks the cells
+against its printed values (per-cell $K rounding, totals within $1.5K).
+"""
+
+import pytest
+
+from repro.core import experiment_table5
+
+PAPER_CELLS = {
+    #                  acq  admin  power  space  downtime  total
+    "Alpha Beowulf":  (17,  60,    11,    8,     12,       108),
+    "Athlon Beowulf": (15,  60,     6,    8,     12,       101),
+    "PIII Beowulf":   (16,  60,     6,    8,     12,       102),
+    "P4 Beowulf":     (17,  60,    11,    8,     12,       108),
+    "MetaBlade":      (26,   5,     2,    2,      0,        35),
+}
+
+
+def test_table5_tco(benchmark, archive):
+    result = benchmark.pedantic(experiment_table5, rounds=1, iterations=1)
+    archive("table5_tco", result.text)
+    for row in result.rows:
+        name, cells = row[0], row[1:]
+        values = [int(c.strip("$K")) for c in cells]
+        paper = PAPER_CELLS[name]
+        for ours, theirs in zip(values[:-1], paper[:-1]):
+            assert abs(ours - theirs) <= 1, (name, ours, theirs)
+        assert abs(values[-1] - paper[-1]) <= 2, name

@@ -1,0 +1,18 @@
+"""Table 6: performance/space of Avalon vs MetaBlade vs Green Destiny.
+
+Paper constraints: MetaBlade beats the traditional Beowulf by a factor
+of two; a full Green Destiny rack by over twenty-fold.
+"""
+
+import pytest
+
+from repro.core import experiment_table6
+
+
+def test_table6_perf_space(benchmark, archive):
+    result = benchmark.pedantic(experiment_table6, rounds=1, iterations=1)
+    archive("table6_perf_space", result.text)
+    by_machine = {row[0]: row[3] for row in result.rows}
+    avalon = by_machine["Avalon"]
+    assert by_machine["MetaBlade"] / avalon > 2.0
+    assert by_machine["Green Destiny"] / avalon > 20.0

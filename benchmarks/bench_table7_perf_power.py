@@ -1,0 +1,18 @@
+"""Table 7: performance/power of Avalon vs MetaBlade vs Green Destiny.
+
+Paper constraint: 'the Bladed Beowulfs outperform the traditional
+Beowulf by a factor of four with respect to this metric'.
+"""
+
+import pytest
+
+from repro.core import experiment_table7
+
+
+def test_table7_perf_power(benchmark, archive):
+    result = benchmark.pedantic(experiment_table7, rounds=1, iterations=1)
+    archive("table7_perf_power", result.text)
+    by_machine = {row[0]: row[3] for row in result.rows}
+    avalon = by_machine["Avalon"]
+    assert 3.5 < by_machine["MetaBlade"] / avalon < 4.5
+    assert 3.5 < by_machine["Green Destiny"] / avalon < 4.5

@@ -1,0 +1,17 @@
+"""Section 4.1: the ToPPeR headline.
+
+'With the TCO of our 24-node Bladed Beowulf being three times smaller
+than a traditional cluster and its performance being 75% of a
+comparably-clocked traditional Beowulf cluster, the ToPPeR value for
+our Bladed Beowulf is less than half that of a traditional Beowulf.'
+"""
+
+import pytest
+
+from repro.core import experiment_topper
+
+
+def test_topper_claim(benchmark, archive):
+    result = benchmark.pedantic(experiment_topper, rounds=1, iterations=1)
+    archive("topper_claim", result.text)
+    assert result.extras["topper_ratio"] > 2.0

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Parallel treecode scaling on MetaBlade (the Table 2 experiment).
+
+Runs the SPMD hashed-oct-tree code over SimMPI on the modelled Fast
+Ethernet star at several blade counts, and contrasts it with an ideal
+(zero-cost) fabric to isolate the communication overhead the paper
+blames for the efficiency drop.
+
+Run:  python examples/cluster_scaling.py [n_particles]
+"""
+
+import sys
+
+from repro.metrics import format_table
+from repro.nbody.parallel import scaling_study
+from repro.nbody.sim import SimConfig
+from repro.perfmodel.calibration import metablade_node_rate
+
+
+def main(n: int = 4000) -> None:
+    config = SimConfig(n=n, steps=1, theta=0.7, softening=1e-2)
+    rate = metablade_node_rate()
+    print(
+        f"N-body scaling study: {n} particles, sustained node rate "
+        f"{rate / 1e6:.1f} Mflops"
+    )
+    print()
+
+    counts = (1, 2, 4, 8, 16, 24)
+    real = scaling_study(config, counts, rate)
+    ideal = scaling_study(config, counts, rate, ideal_network=True)
+
+    rows = []
+    for r, i in zip(real, ideal):
+        rows.append(
+            [
+                r.cpus,
+                round(r.time_s, 3),
+                round(r.speedup, 2),
+                f"{r.efficiency:.0%}",
+                f"{r.comm_fraction:.0%}",
+                round(i.speedup, 2),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "# CPUs",
+                "Time (s)",
+                "Speed-Up",
+                "Efficiency",
+                "Comm share",
+                "Speed-Up (ideal net)",
+            ],
+            rows,
+            title="Table 2 workload: Fast Ethernet star vs ideal fabric",
+        )
+    )
+    print()
+    last_real, last_ideal = real[-1], ideal[-1]
+    lost = last_ideal.speedup - last_real.speedup
+    print(
+        f"At 24 blades the Fast Ethernet fabric costs "
+        f"{lost:.1f} units of speedup\n"
+        f"({last_real.comm_fraction:.0%} of wall time is "
+        "communication) - the paper's point that\n"
+        "'the communication overhead is enough to cause the drop in "
+        "efficiency'."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4000)

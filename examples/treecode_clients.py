@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""One tree library, three physics clients (paper Section 3.5.1).
+
+The paper's point about the treecode library is reuse: "only 2000 lines
+of code external to the library are required to implement a
+gravitational N-body simulation.  The vortex particle method requires
+only 2500 lines ... Smoothed particle hydrodynamics takes 3000 lines."
+
+This example runs all three clients against the same hashed octree:
+
+1. gravity (with and without quadrupole moments),
+2. a vortex smoke ring propelling itself by Biot-Savart induction,
+3. SPH density estimation with tree ball queries.
+
+Run:  python examples/treecode_clients.py
+"""
+
+import numpy as np
+
+from repro.nbody.ic import plummer_sphere
+from repro.nbody.kernels import direct_accelerations
+from repro.nbody.sph import SphSystem
+from repro.nbody.traversal import tree_accelerations
+from repro.nbody.tree import HashedOctree
+from repro.nbody.vortex import (
+    VortexSystem,
+    ring_self_induced_speed,
+    vortex_ring,
+)
+
+
+def gravity_client() -> None:
+    print("1. Gravity (the Table 4 workload)")
+    pos, _, mass = plummer_sphere(2000, seed=12)
+    tree = HashedOctree(pos, mass, leaf_size=16, quadrupoles=True)
+    exact, _ = direct_accelerations(pos, mass, softening=1e-2)
+    norm = np.linalg.norm(exact, axis=1)
+    for use_quad in (False, True):
+        acc, stats = tree_accelerations(
+            tree, theta=0.8, softening=1e-2, use_quadrupole=use_quad
+        )
+        err = np.median(np.linalg.norm(acc - exact, axis=1) / norm)
+        label = "quadrupole" if use_quad else "monopole  "
+        print(
+            f"   {label}: {stats.interactions:>9,} interactions, "
+            f"median force error {err:.2e}"
+        )
+    print()
+
+
+def vortex_client() -> None:
+    print("2. Vortex particle method (a smoke ring)")
+    pos, alpha = vortex_ring(n=256, ring_radius=1.0, circulation=1.0)
+    system = VortexSystem(pos, alpha, core_radius=0.05)
+    vel, stats = system.tree_velocities(theta=0.4)
+    uz = vel[:, 2].mean()
+    predicted = ring_self_induced_speed(1.0, 1.0, 0.05)
+    print(
+        f"   ring translates at {uz:.3f} (thin-core formula "
+        f"{predicted:.3f}) using {stats.interactions:,} interactions"
+    )
+    drift = np.abs(vel[:, :2].mean(axis=0)).max()
+    print(f"   transverse drift {drift:.2e} (symmetry check)")
+    print()
+
+
+def sph_client() -> None:
+    print("3. Smoothed particle hydrodynamics (density estimation)")
+    side = 12
+    g = (np.arange(side) + 0.5) / side
+    px, py, pz = np.meshgrid(g, g, g, indexing="ij")
+    pos = np.stack([px.ravel(), py.ravel(), pz.ravel()], axis=1)
+    mass = np.full(len(pos), 1.0 / len(pos))
+    sph = SphSystem(pos, mass, h=2.0 / side)
+    rho, pairs = sph.densities()
+    interior = np.all(np.abs(pos - 0.5) < 0.25, axis=1)
+    print(
+        f"   {len(pos)} particles, {pairs:,} kernel pairs via tree "
+        f"ball queries"
+    )
+    print(
+        f"   interior density {np.median(rho[interior]):.3f} "
+        f"(uniform box: expect 1.0)"
+    )
+    print()
+
+
+def main() -> None:
+    print("The Warren-Salmon library pattern: one tree, many physics\n")
+    gravity_client()
+    vortex_client()
+    sph_client()
+    print(
+        "Each client reused the same octree build, interaction-list "
+        "walk and\nneighbour machinery - the library design the paper "
+        "credits for needing\nonly 2-3 kLoC per new physics."
+    )
+
+
+if __name__ == "__main__":
+    main()

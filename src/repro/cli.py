@@ -1,0 +1,184 @@
+"""Command-line interface: regenerate any of the paper's results.
+
+Usage::
+
+    python -m repro.cli summary              # MetaBlade headlines
+    python -m repro.cli table5               # any of table1..table7
+    python -m repro.cli table2 --cpus 1 4 24 --particles 3000
+    python -m repro.cli fig3 --particles 4000
+    python -m repro.cli topper
+    python -m repro.cli green500             # Top500 vs Green500 ranking
+    python -m repro.cli all                  # everything (minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    BladedBeowulf,
+    experiment_fig3,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+    experiment_table6,
+    experiment_table7,
+    experiment_topper,
+)
+from repro.metrics.report import format_table
+from repro.nbody.sim import SimConfig
+
+
+def _cmd_summary(_args) -> None:
+    print(BladedBeowulf.metablade().summary())
+
+
+def _cmd_table1(_args) -> None:
+    print(experiment_table1().text)
+
+
+def _cmd_table2(args) -> None:
+    result = experiment_table2(
+        n=args.particles, steps=1, cpu_counts=tuple(args.cpus)
+    )
+    print(result.text)
+
+
+def _cmd_table3(args) -> None:
+    print(experiment_table3(letter=args.npb_class).text)
+
+
+def _cmd_table4(_args) -> None:
+    print(experiment_table4().text)
+
+
+def _cmd_table5(_args) -> None:
+    print(experiment_table5().text)
+
+
+def _cmd_table6(_args) -> None:
+    print(experiment_table6().text)
+
+
+def _cmd_table7(_args) -> None:
+    print(experiment_table7().text)
+
+
+def _cmd_fig3(args) -> None:
+    exp, _, art = experiment_fig3(
+        SimConfig(
+            n=args.particles, steps=2, ic="collision",
+            theta=0.7, softening=1e-2,
+        )
+    )
+    print(exp.text)
+    print()
+    print(art)
+
+
+def _cmd_topper(_args) -> None:
+    print(experiment_topper().text)
+
+
+def _cmd_green500(_args) -> None:
+    from repro.hpl import green500_list, top500_list
+
+    top = top500_list()
+    green = green500_list()
+    print(
+        format_table(
+            ["#", "Machine", "Linpack Gflops", "kW"],
+            [[e.rank, e.name, round(e.gflops, 1), e.power_kw]
+             for e in top],
+            title="Top500-style (rank by flops)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["#", "Machine", "Gflops/kW"],
+            [[e.rank, e.name, round(e.gflops_per_kw, 2)] for e in green],
+            title="Green500-style (rank by flops per watt)",
+        )
+    )
+
+
+def _cmd_all(args) -> None:
+    for fn in (
+        _cmd_summary,
+        _cmd_table1,
+        lambda a: _cmd_table2(a),
+        lambda a: _cmd_table3(a),
+        _cmd_table4,
+        _cmd_table5,
+        _cmd_table6,
+        _cmd_table7,
+        lambda a: _cmd_fig3(a),
+        _cmd_topper,
+        _cmd_green500,
+    ):
+        fn(args)
+        print()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate results from 'Honey, I Shrunk the Beowulf!' "
+            "(Feng, Warren, Weigle - ICPP 2002)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("summary", help="MetaBlade headline numbers")
+    sub.add_parser("table1", help="gravitational microkernel Mflops")
+    p2 = sub.add_parser("table2", help="N-body scalability")
+    p2.add_argument("--particles", type=int, default=4000)
+    p2.add_argument("--cpus", type=int, nargs="+",
+                    default=[1, 2, 4, 8, 16, 24])
+    p3 = sub.add_parser("table3", help="NPB single-CPU Mops")
+    p3.add_argument("--npb-class", default="S", choices=["T", "S", "W"])
+    sub.add_parser("table4", help="treecode history ladder")
+    sub.add_parser("table5", help="total cost of ownership")
+    sub.add_parser("table6", help="performance/space")
+    sub.add_parser("table7", help="performance/power")
+    pf = sub.add_parser("fig3", help="the flagship N-body run")
+    pf.add_argument("--particles", type=int, default=4000)
+    sub.add_parser("topper", help="the ToPPeR headline claim")
+    sub.add_parser("green500", help="Top500 vs Green500 rankings")
+    pa = sub.add_parser("all", help="everything (takes minutes)")
+    pa.add_argument("--particles", type=int, default=3000)
+    pa.add_argument("--cpus", type=int, nargs="+", default=[1, 4, 24])
+    pa.add_argument("--npb-class", default="S")
+    return parser
+
+
+_HANDLERS = {
+    "summary": _cmd_summary,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "table6": _cmd_table6,
+    "table7": _cmd_table7,
+    "fig3": _cmd_fig3,
+    "topper": _cmd_topper,
+    "green500": _cmd_green500,
+    "all": _cmd_all,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _HANDLERS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Standard 19-inch rack holding chassis (the Green Destiny package)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cluster.chassis import ChassisError, RlxSystem324
+
+#: Floor space of one rack including service clearance - the paper's
+#: "six square feet" for both MetaBlade and a full Green Destiny rack.
+RACK_FOOTPRINT_SQFT = 6.0
+
+#: Network/aggregation gear power for a fully-populated rack.
+RACK_GEAR_WATTS = 720.0
+
+
+@dataclass
+class Rack:
+    """A 42U rack: up to fourteen 3U chassis (ten used by Green Destiny)."""
+
+    rack_units: int = 42
+    footprint_sqft: float = RACK_FOOTPRINT_SQFT
+    gear_watts: float = RACK_GEAR_WATTS
+    chassis: List[RlxSystem324] = field(default_factory=list)
+
+    @property
+    def used_units(self) -> int:
+        return sum(c.dims.rack_units for c in self.chassis)
+
+    @property
+    def free_units(self) -> int:
+        return self.rack_units - self.used_units
+
+    def mount(self, chassis: RlxSystem324) -> None:
+        if chassis.dims.rack_units > self.free_units:
+            raise ChassisError(
+                f"no room: {chassis.dims.rack_units}U needed, "
+                f"{self.free_units}U free"
+            )
+        self.chassis.append(chassis)
+
+    @property
+    def node_count(self) -> int:
+        return sum(len(c) for c in self.chassis)
+
+    @property
+    def watts_at_load(self) -> float:
+        """Rack draw: all chassis plus shared network gear."""
+        chassis_watts = sum(c.watts_at_load for c in self.chassis)
+        gear = self.gear_watts if self.chassis else 0.0
+        return chassis_watts + gear

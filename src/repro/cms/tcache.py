@@ -1,0 +1,84 @@
+"""The translation cache.
+
+"Caching the translations in a translation cache allows CMS to re-use
+translations ... the initial cost of the translation is amortized over
+repeated executions" (paper Section 2.2).  Real CMS reserves a slice of
+system DRAM for this; we model a byte-capacity cache with LRU
+replacement, keyed by guest entry pc.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cms.translator import Translation
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class TranslationCache:
+    """LRU cache of :class:`Translation` objects with a byte budget."""
+
+    def __init__(self, capacity_bytes: int = 1 << 20) -> None:
+        if capacity_bytes < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[int, Translation]" = OrderedDict()
+        self._used_bytes = 0
+        self.stats = CacheStats()
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry_pc: int) -> bool:
+        return entry_pc in self._entries
+
+    def lookup(self, entry_pc: int) -> Optional[Translation]:
+        """Return the cached translation for *entry_pc*, if present."""
+        translation = self._entries.get(entry_pc)
+        if translation is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(entry_pc)
+        self.stats.hits += 1
+        return translation
+
+    def insert(self, translation: Translation) -> None:
+        """Insert a translation, evicting LRU entries to fit."""
+        size = translation.block.code_bytes
+        if size > self.capacity_bytes:
+            # A single oversized translation cannot be cached; it will be
+            # retranslated on every visit (pathological but well-defined).
+            return
+        if translation.block.entry_pc in self._entries:
+            old = self._entries.pop(translation.block.entry_pc)
+            self._used_bytes -= old.block.code_bytes
+        while self._used_bytes + size > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._used_bytes -= evicted.block.code_bytes
+            self.stats.evictions += 1
+        self._entries[translation.block.entry_pc] = translation
+        self._used_bytes += size
+        self.stats.insertions += 1
+
+    def flush(self) -> None:
+        """Drop everything (models a CMS upgrade or chain invalidation)."""
+        self._entries.clear()
+        self._used_bytes = 0

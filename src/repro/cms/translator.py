@@ -1,0 +1,67 @@
+"""The CMS translator module.
+
+"When CMS detects critical and frequently used x86 instruction
+sequences, CMS invokes the translator module to re-compile the x86
+instructions into optimized VLIW instructions called translations"
+(paper Section 2.2).  Translation itself runs on the VLIW core, so its
+cost is charged to the engine clock and must be amortised by re-use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Program
+from repro.vliw.engine import TranslatedBlock, VliwEngine, translate_block
+from repro.vliw.molecules import FULL_FORMAT, SlotLimits
+from repro.vliw.units import TM5600_LATENCIES, LatencyTable
+
+
+@dataclass(frozen=True)
+class Translation:
+    """A cached native translation plus bookkeeping."""
+
+    block: TranslatedBlock
+    translation_cycles: int
+
+    @property
+    def entry_pc(self) -> int:
+        return self.block.entry_pc
+
+
+@dataclass
+class TranslatorStats:
+    translations: int = 0
+    guest_instructions_translated: int = 0
+    cycles: int = 0
+
+
+class Translator:
+    """Recompiles hot guest blocks into scheduled molecule sequences."""
+
+    def __init__(self, engine: VliwEngine,
+                 latencies: LatencyTable = TM5600_LATENCIES,
+                 limits: SlotLimits = FULL_FORMAT,
+                 cycles_per_instr: int = 1_000) -> None:
+        if cycles_per_instr < 0:
+            raise ValueError("cycles_per_instr must be >= 0")
+        self.engine = engine
+        self.latencies = latencies
+        self.limits = limits
+        #: Translation effort: native cycles spent per guest instruction
+        #: translated.  Real CMS spends on the order of thousands of
+        #: cycles per translated instruction on analysis and scheduling.
+        self.cycles_per_instr = cycles_per_instr
+        self.stats = TranslatorStats()
+
+    def translate(self, program: Program, entry_pc: int) -> Translation:
+        """Translate the block at *entry_pc*, charging translation time."""
+        block = translate_block(
+            program, entry_pc, latencies=self.latencies, limits=self.limits
+        )
+        cost = block.guest_count * self.cycles_per_instr
+        self.engine.charge(cost)
+        self.stats.translations += 1
+        self.stats.guest_instructions_translated += block.guest_count
+        self.stats.cycles += cost
+        return Translation(block=block, translation_cycles=cost)

@@ -1,0 +1,36 @@
+"""Top-level façade: the Bladed Beowulf system and experiment index.
+
+:class:`~repro.core.system.BladedBeowulf` wires the packages together
+the way the paper's Section 2-4 narrative does; :mod:`~repro.core.experiments`
+regenerates every table and figure of the evaluation.
+"""
+
+from repro.core.system import BladedBeowulf, PEAK_FLOPS_PER_CYCLE, peak_gflops
+from repro.core.experiments import (
+    Table4Row,
+    experiment_fig3,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+    experiment_table6,
+    experiment_table7,
+    experiment_topper,
+)
+
+__all__ = [
+    "BladedBeowulf",
+    "PEAK_FLOPS_PER_CYCLE",
+    "Table4Row",
+    "experiment_fig3",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_table3",
+    "experiment_table4",
+    "experiment_table5",
+    "experiment_table6",
+    "experiment_table7",
+    "experiment_topper",
+    "peak_gflops",
+]

@@ -1,0 +1,338 @@
+"""Regenerators for every table and figure in the paper's evaluation.
+
+Each ``experiment_*`` function returns structured rows plus a rendered
+text table, so the benchmark harness, the examples and the tests all
+share one implementation.  EXPERIMENTS.md records paper-vs-measured for
+each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.catalog import (
+    AVALON,
+    GREEN_DESTINY,
+    LOKI,
+    METABLADE,
+    METABLADE2,
+    TABLE5_CLUSTERS,
+    Cluster,
+)
+from repro.cpus.catalog import TABLE1_CPUS, TABLE3_CPUS
+from repro.metrics.ratios import perf_power_table, perf_space_table
+from repro.metrics.report import format_table
+from repro.metrics.tco import tco_table
+from repro.metrics.topper import paper_headline_claim
+from repro.nbody.sim import (
+    NBodySimulation,
+    SimConfig,
+    SimResult,
+    ascii_render,
+    density_image,
+)
+from repro.npb import run_suite
+from repro.perfmodel.calibration import (
+    sustained_treecode_mflops,
+    table1_mflops,
+)
+from repro.perfmodel.projector import table3_mops
+from repro.core.system import BladedBeowulf, peak_gflops
+
+
+@dataclass
+class ExperimentResult:
+    """Structured rows plus the rendered table."""
+
+    experiment: str
+    headers: List[str]
+    rows: List[List]
+    text: str
+    extras: Dict[str, float]
+
+
+def _result(experiment: str, headers: List[str], rows: List[List],
+            title: str, extras: Optional[Dict[str, float]] = None
+            ) -> ExperimentResult:
+    return ExperimentResult(
+        experiment=experiment,
+        headers=headers,
+        rows=rows,
+        text=format_table(headers, rows, title=title),
+        extras=extras or {},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 - gravitational microkernel Mflops
+# ---------------------------------------------------------------------------
+
+def experiment_table1(cpus=TABLE1_CPUS) -> ExperimentResult:
+    rows = []
+    for cpu in cpus:
+        math_mflops, karp_mflops = table1_mflops(cpu)
+        rows.append(
+            [
+                f"{cpu.spec.clock_mhz:.0f}-MHz {cpu.name}",
+                round(math_mflops, 1),
+                round(karp_mflops, 1),
+            ]
+        )
+    return _result(
+        "table1",
+        ["Processor", "Math sqrt", "Karp sqrt"],
+        rows,
+        "Table 1: Mflops on the gravitational microkernel",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2 - N-body scalability on MetaBlade
+# ---------------------------------------------------------------------------
+
+def experiment_table2(
+    n: int = 6000,
+    steps: int = 1,
+    cpu_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 24),
+    ideal_network: bool = False,
+) -> ExperimentResult:
+    machine = BladedBeowulf.metablade()
+    config = SimConfig(n=n, steps=steps, theta=0.7, softening=1e-2)
+    points = machine.nbody_scaling(
+        config, cpu_counts, ideal_network=ideal_network
+    )
+    rows = [
+        [p.cpus, round(p.time_s, 3), round(p.speedup, 2),
+         round(p.efficiency, 2), round(p.comm_fraction, 2)]
+        for p in points
+    ]
+    return _result(
+        "table2",
+        ["# CPUs", "Time (sec)", "Speed-Up", "Efficiency", "Comm frac"],
+        rows,
+        "Table 2: scalability of the N-body simulation on MetaBlade",
+        extras={"n_particles": float(n)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3 - single-processor NPB Mops
+# ---------------------------------------------------------------------------
+
+def experiment_table3(letter: str = "S", cpus=TABLE3_CPUS) -> ExperimentResult:
+    outcomes = run_suite(letter)
+    projections = table3_mops(cpus, outcomes)
+    headers = ["Code"] + [cpu.name for cpu in cpus]
+    rows = [
+        [name] + [round(mops[cpu.name], 1) for cpu in cpus]
+        for name, mops in projections
+    ]
+    return _result(
+        "table3",
+        headers,
+        rows,
+        f"Table 3: single-processor Mops, class {letter} NPB work-alikes",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4 - historical treecode performance
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table4Row:
+    machine: str
+    cpus: int
+    gflops: float
+    source: str               # "modelled" or "historical record"
+
+    @property
+    def mflops_per_proc(self) -> float:
+        return self.gflops * 1000.0 / self.cpus
+
+
+#: Historical rows the paper itself quotes from prior publications
+#: [Warren et al., SC'97; SC'98].  Our models only cover the machines
+#: LANL owned; the rest are carried as the records they are.
+HISTORICAL_TREECODE: Tuple[Table4Row, ...] = (
+    Table4Row("LANL SGI Origin 2000", 64, 13.10, "historical record"),
+    Table4Row("NAS IBM SP-2 (66/W)", 128, 9.52, "historical record"),
+    Table4Row("SC'96 Loki+Hyglac", 32, 2.19, "historical record"),
+    Table4Row("Sandia ASCI Red", 6800, 464.90, "historical record"),
+    Table4Row("Caltech Naegling", 96, 5.67, "historical record"),
+    Table4Row("NRL TMC CM-5E", 256, 11.57, "historical record"),
+    Table4Row("Sandia ASCI Red (1997)", 4096, 164.30, "historical record"),
+    Table4Row("JPL Cray T3D", 256, 7.94, "historical record"),
+)
+
+
+def modelled_treecode_rows() -> List[Table4Row]:
+    """Machines our processor models cover, rated by the perf model."""
+    from repro.cpus.catalog import CPU_CATALOG
+    rows = []
+    for cluster, label in (
+        (METABLADE2, "SC'01 MetaBlade2"),
+        (AVALON, "LANL Avalon"),
+        (METABLADE, "LANL MetaBlade"),
+        (LOKI, "LANL Loki"),
+    ):
+        cpu = CPU_CATALOG[cluster.processor.name]
+        per_proc = sustained_treecode_mflops(cpu)
+        rows.append(
+            Table4Row(
+                machine=label,
+                cpus=cluster.nodes,
+                gflops=per_proc * cluster.nodes / 1000.0,
+                source="modelled",
+            )
+        )
+    return rows
+
+
+def experiment_table4() -> ExperimentResult:
+    rows_structured = list(HISTORICAL_TREECODE) + modelled_treecode_rows()
+    rows_structured.sort(key=lambda r: r.mflops_per_proc, reverse=True)
+    rows = [
+        [r.machine, r.cpus, round(r.gflops, 2),
+         round(r.mflops_per_proc, 1), r.source]
+        for r in rows_structured
+    ]
+    return _result(
+        "table4",
+        ["Machine", "CPUs", "Gflop", "Mflop/proc", "Source"],
+        rows,
+        "Table 4: treecode performance, historical and modelled",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 5 - TCO
+# ---------------------------------------------------------------------------
+
+def experiment_table5(
+    clusters: Sequence[Cluster] = TABLE5_CLUSTERS,
+) -> ExperimentResult:
+    rows = []
+    for breakdown in tco_table(clusters):
+        k = breakdown.rounded_k()
+        rows.append([breakdown.cluster_name] + [f"${v}K" for v in k])
+    return _result(
+        "table5",
+        ["Cluster", "Acquisition", "System Admin", "Power & Cooling",
+         "Space", "Downtime", "TCO"],
+        rows,
+        "Table 5: total cost of ownership, 24-node clusters over 4 years",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 6 & 7 - performance/space and performance/power
+# ---------------------------------------------------------------------------
+
+def experiment_table6() -> ExperimentResult:
+    rows = [
+        [r.machine, r.gflops, r.area_sqft, round(r.mflops_per_sqft, 0)]
+        for r in perf_space_table()
+    ]
+    return _result(
+        "table6",
+        ["Machine", "Performance (Gflop)", "Area (ft^2)",
+         "Perf/Space (Mflop/ft^2)"],
+        rows,
+        "Table 6: performance/space, traditional vs Bladed Beowulfs",
+    )
+
+
+def experiment_table7() -> ExperimentResult:
+    rows = [
+        [r.machine, r.gflops, r.power_kw, round(r.gflops_per_kw, 2)]
+        for r in perf_power_table()
+    ]
+    return _result(
+        "table7",
+        ["Machine", "Performance (Gflop)", "Power (kW)",
+         "Perf/Power (Gflop/kW)"],
+        rows,
+        "Table 7: performance/power, traditional vs Bladed Beowulfs",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 / Section 3.3 - the big N-body run
+# ---------------------------------------------------------------------------
+
+def experiment_fig3(config: Optional[SimConfig] = None,
+                    image_bins: int = 48) -> Tuple[ExperimentResult, SimResult, str]:
+    """The Section 3.3 raw-performance run, scaled down.
+
+    The paper ran 9,753,824 particles for ~1000 steps on the showroom
+    floor; we run the same treecode on a smaller collision IC and scale
+    the flop ledger through the same accounting: sustained Gflops =
+    measured node rate x nodes, percent of peak against 15.2 Gflops.
+    """
+    cfg = config or SimConfig(
+        n=4000, steps=2, ic="collision", theta=0.7, softening=1e-2
+    )
+    sim = NBodySimulation(cfg)
+    result = sim.run()
+    machine = BladedBeowulf.metablade()
+    sustained = machine.sustained_gflops()
+    peak = machine.peak_gflops()
+    pct = machine.percent_of_peak()
+    virtual_s = result.total_flops / (sustained * 1e9)
+
+    image = density_image(result.pos, result.mass, bins=image_bins)
+    art = ascii_render(image)
+
+    rows = [
+        ["particles", cfg.n],
+        ["steps", cfg.steps],
+        ["total flops", f"{result.total_flops:.3e}"],
+        ["sustained (Gflops)", round(sustained, 2)],
+        ["peak (Gflops)", round(peak, 1)],
+        ["percent of peak", round(pct, 1)],
+        ["virtual wall time (s)", round(virtual_s, 2)],
+        ["energy drift", f"{result.energy_drift:.2e}"],
+    ]
+    exp = _result(
+        "fig3",
+        ["Quantity", "Value"],
+        rows,
+        "Section 3.3 / Figure 3: gravitational N-body run on MetaBlade",
+        extras={
+            "sustained_gflops": sustained,
+            "peak_gflops": peak,
+            "percent_of_peak": pct,
+        },
+    )
+    return exp, result, art
+
+
+# ---------------------------------------------------------------------------
+# Section 4.1 - the ToPPeR headline claim
+# ---------------------------------------------------------------------------
+
+def experiment_topper() -> ExperimentResult:
+    claim = paper_headline_claim()
+    rows = [
+        ["blade TCO ($K)", round(claim.blade.tco_usd / 1000, 1)],
+        ["traditional TCO ($K)", round(claim.traditional.tco_usd / 1000, 1)],
+        ["TCO ratio (trad/blade)", round(claim.tco_ratio, 2)],
+        ["performance ratio (blade/trad)", round(claim.performance_ratio, 2)],
+        ["blade ToPPeR ($K/Gflop)",
+         round(claim.blade.usd_per_gflop / 1000, 1)],
+        ["traditional ToPPeR ($K/Gflop)",
+         round(claim.traditional.usd_per_gflop / 1000, 1)],
+        ["ToPPeR advantage", round(claim.topper_ratio, 2)],
+        ["blade wins", claim.blade_wins],
+    ]
+    return _result(
+        "topper",
+        ["Quantity", "Value"],
+        rows,
+        "Section 4.1: the ToPPeR argument",
+        extras={"topper_ratio": claim.topper_ratio},
+    )

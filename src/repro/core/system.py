@@ -1,0 +1,119 @@
+"""The Bladed Beowulf as one object.
+
+Wraps a cluster from the catalog with its processor model, network
+fabric and metric calculators, so an application study reads like the
+paper: build the machine, run the workload, report ToPPeR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.catalog import Cluster, METABLADE, Packaging
+from repro.cluster.reliability import ClusterReliability
+from repro.cpus.base import Processor
+from repro.cpus.catalog import CPU_CATALOG
+from repro.metrics.costs import CostParameters, DEFAULT_COSTS
+from repro.metrics.tco import TcoBreakdown, tco_for
+from repro.metrics.topper import ToPPeR, topper
+from repro.nbody.parallel import ScalingPoint, scaling_study
+from repro.nbody.sim import SimConfig
+from repro.perfmodel.calibration import sustained_treecode_mflops
+
+#: Peak double-precision flops per cycle per processor (for the paper's
+#: percent-of-peak accounting; 24 x 633 MHz x 1 = the 15.2 Gflops peak
+#: it quotes for MetaBlade).
+PEAK_FLOPS_PER_CYCLE: Dict[str, float] = {
+    "Transmeta TM5600": 1.0,
+    "Transmeta TM5800": 1.0,
+    "Intel Pentium III": 1.0,
+    "Compaq Alpha EV56": 2.0,
+    "IBM Power3": 4.0,
+    "AMD Athlon MP": 2.0,
+    "Intel Pentium 4": 2.0,
+    "Intel Pentium Pro": 1.0,
+}
+
+
+def peak_gflops(cluster: Cluster) -> float:
+    """Theoretical peak of a cluster in Gflops."""
+    per_cycle = PEAK_FLOPS_PER_CYCLE.get(cluster.processor.name, 1.0)
+    return cluster.nodes * cluster.processor.clock_hz * per_cycle / 1e9
+
+
+@dataclass
+class BladedBeowulf:
+    """A cluster plus everything the paper measures about it."""
+
+    cluster: Cluster
+
+    @classmethod
+    def metablade(cls) -> "BladedBeowulf":
+        return cls(cluster=METABLADE)
+
+    @property
+    def processor(self) -> Processor:
+        return CPU_CATALOG[self.cluster.processor.name]
+
+    @property
+    def is_bladed(self) -> bool:
+        return self.cluster.packaging is Packaging.BLADED
+
+    # -- performance -------------------------------------------------------
+
+    def node_flop_rate(self) -> float:
+        """Sustained treecode flops/s of one node."""
+        return sustained_treecode_mflops(self.processor) * 1e6
+
+    def sustained_gflops(self) -> float:
+        """Whole-cluster sustained treecode rating."""
+        return self.node_flop_rate() * self.cluster.nodes / 1e9
+
+    def peak_gflops(self) -> float:
+        return peak_gflops(self.cluster)
+
+    def percent_of_peak(self) -> float:
+        return 100.0 * self.sustained_gflops() / self.peak_gflops()
+
+    def nbody_scaling(self, config: SimConfig,
+                      cpu_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 24),
+                      ideal_network: bool = False) -> list:
+        """Table 2 on this machine's nodes and fabric."""
+        counts = tuple(
+            c for c in cpu_counts if c <= self.cluster.nodes
+        )
+        return scaling_study(
+            config, counts, self.node_flop_rate(),
+            ideal_network=ideal_network,
+        )
+
+    # -- economics -----------------------------------------------------------
+
+    def tco(self, params: CostParameters = DEFAULT_COSTS) -> TcoBreakdown:
+        return tco_for(self.cluster, params)
+
+    def topper(self, params: CostParameters = DEFAULT_COSTS) -> ToPPeR:
+        return topper(self.cluster, self.sustained_gflops(), params)
+
+    def reliability(self) -> ClusterReliability:
+        return ClusterReliability(self.cluster)
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> str:
+        c = self.cluster
+        t = self.tco()
+        lines = [
+            f"{c.name}: {c.nodes}x {c.processor.clock_mhz:.0f}-MHz "
+            f"{c.processor.name} ({c.packaging.value})",
+            f"  sustained {self.sustained_gflops():.2f} Gflops "
+            f"({self.percent_of_peak():.0f}% of {self.peak_gflops():.1f} peak)",
+            f"  power {c.power_kw:.2f} kW, footprint "
+            f"{c.footprint_sqft:.0f} sq ft",
+            f"  4-year TCO ${t.total / 1000:.0f}K "
+            f"(acquisition ${t.acquisition / 1000:.0f}K, "
+            f"operating ${t.operating / 1000:.0f}K)",
+            f"  ToPPeR ${self.topper().usd_per_gflop / 1000:.1f}K per Gflop",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""LongRun: the Crusoe's dynamic voltage and frequency scaling.
+
+The TM5600/TM5800 shipped with LongRun, Transmeta's DVFS: CMS steps the
+core through frequency/voltage pairs at run time.  The paper's Section
+5 trajectory (ever lower power at competitive performance) and the
+project's follow-on energy work build on it, so the model carries it:
+
+- power scales as f * V^2 (switching energy) plus a small static floor;
+- each step is a (MHz, volts) pair from the part's published ladder;
+- :func:`energy_study` runs a real workload through the CMS pipeline at
+  each step and reports time, average power and energy-to-solution -
+  the run-fast-vs-run-slow frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cms import CmsConfig, CodeMorphingSoftware
+from repro.cpus.base import ProcessorSpec
+from repro.isa.programs import GuestWorkload
+
+
+@dataclass(frozen=True)
+class LongRunStep:
+    """One frequency/voltage operating point."""
+
+    mhz: float
+    volts: float
+
+    def __post_init__(self) -> None:
+        if self.mhz <= 0 or self.volts <= 0:
+            raise ValueError("frequency and voltage must be positive")
+
+
+#: The TM5600's LongRun ladder (representative published points).
+TM5600_LADDER: Tuple[LongRunStep, ...] = (
+    LongRunStep(300.0, 1.2),
+    LongRunStep(400.0, 1.225),
+    LongRunStep(500.0, 1.35),
+    LongRunStep(600.0, 1.5),
+    LongRunStep(633.0, 1.6),
+)
+
+#: The TM5800's ladder reaches 800 MHz at lower voltage.
+TM5800_LADDER: Tuple[LongRunStep, ...] = (
+    LongRunStep(300.0, 0.8),
+    LongRunStep(500.0, 0.925),
+    LongRunStep(667.0, 1.05),
+    LongRunStep(800.0, 1.3),
+)
+
+
+@dataclass(frozen=True)
+class LongRunModel:
+    """Power model over a LongRun ladder.
+
+    Calibrated so the top step dissipates the part's rated load power:
+    P(f, V) = static + k * f * V^2 with k fixed by the top step.
+    """
+
+    ladder: Tuple[LongRunStep, ...]
+    rated_watts: float
+    static_watts: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ValueError("ladder cannot be empty")
+        if self.rated_watts <= self.static_watts:
+            raise ValueError("rated power must exceed the static floor")
+
+    @property
+    def top(self) -> LongRunStep:
+        return max(self.ladder, key=lambda s: s.mhz)
+
+    @property
+    def _k(self) -> float:
+        top = self.top
+        return (self.rated_watts - self.static_watts) / (
+            top.mhz * top.volts ** 2
+        )
+
+    def power_watts(self, step: LongRunStep) -> float:
+        return self.static_watts + self._k * step.mhz * step.volts ** 2
+
+    def step_for_budget(self, watts: float) -> Optional[LongRunStep]:
+        """Fastest step whose power fits *watts* (None if none fits)."""
+        fitting = [
+            s for s in self.ladder if self.power_watts(s) <= watts
+        ]
+        if not fitting:
+            return None
+        return max(fitting, key=lambda s: s.mhz)
+
+
+TM5600_LONGRUN = LongRunModel(ladder=TM5600_LADDER, rated_watts=6.0)
+TM5800_LONGRUN = LongRunModel(ladder=TM5800_LADDER, rated_watts=3.5)
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """One operating point's outcome on one workload."""
+
+    mhz: float
+    volts: float
+    power_watts: float
+    time_s: float
+    energy_j: float
+
+
+def energy_study(workload: GuestWorkload,
+                 model: LongRunModel = TM5600_LONGRUN,
+                 cms_config: Optional[CmsConfig] = None) -> List[EnergyPoint]:
+    """Run *workload* through CMS at every ladder step.
+
+    The cycle count is frequency-independent (same pipeline), so one
+    morphing run prices every step; energy = power x time exposes the
+    DVFS frontier: lower steps save power faster than they lose time
+    whenever voltage drops with frequency.
+    """
+    cms = CodeMorphingSoftware(cms_config or CmsConfig())
+    result = cms.run(workload.program, workload.make_state(),
+                     max_steps=10**8)
+    if not workload.check(result.state):
+        raise RuntimeError("workload failed verification under CMS")
+    points = []
+    for step in sorted(model.ladder, key=lambda s: s.mhz):
+        time_s = result.cycles / (step.mhz * 1e6)
+        power = model.power_watts(step)
+        points.append(
+            EnergyPoint(
+                mhz=step.mhz,
+                volts=step.volts,
+                power_watts=power,
+                time_s=time_s,
+                energy_j=power * time_s,
+            )
+        )
+    return points
+
+
+def spec_at_step(spec: ProcessorSpec, step: LongRunStep,
+                 model: LongRunModel) -> ProcessorSpec:
+    """A ProcessorSpec re-rated at a LongRun operating point."""
+    from dataclasses import replace
+
+    return replace(
+        spec,
+        clock_mhz=step.mhz,
+        cpu_watts=model.power_watts(step),
+    )

@@ -1,0 +1,105 @@
+"""Execution-port descriptions for the hardware CPU models.
+
+Each operation class maps to a :class:`PortSpec`: which port(s) can
+execute it, how long the result takes (latency), and how long the port
+stays busy (occupancy - the reciprocal throughput; equal to the full
+latency for unpipelined iterative units like dividers).
+
+Opcode classes without an entry fall back to a single-cycle ALU spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.isa.instructions import OpClass
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Execution resource requirements of one operation class."""
+
+    ports: Tuple[str, ...]
+    latency: int
+    occupancy: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.ports:
+            raise ValueError("PortSpec needs at least one port")
+        if self.latency < 1 or self.occupancy < 1:
+            raise ValueError("latency and occupancy must be >= 1")
+
+
+@dataclass(frozen=True)
+class PortTable:
+    """Per-class port specs plus the machine's port inventory."""
+
+    specs: Mapping[OpClass, PortSpec]
+
+    def spec(self, opclass: OpClass) -> PortSpec:
+        return self.specs[opclass]
+
+    def port_names(self) -> Tuple[str, ...]:
+        names = []
+        for spec in self.specs.values():
+            for port in spec.ports:
+                if port not in names:
+                    names.append(port)
+        return tuple(names)
+
+    def replace(self, **overrides: PortSpec) -> "PortTable":
+        """Copy with some class specs overridden by class name."""
+        merged: Dict[OpClass, PortSpec] = dict(self.specs)
+        for name, spec in overrides.items():
+            merged[OpClass[name.upper()]] = spec
+        return PortTable(specs=merged)
+
+
+def make_port_table(
+    *,
+    ialu_ports: Tuple[str, ...] = ("alu0", "alu1"),
+    ialu_latency: int = 1,
+    imul_latency: int = 4,
+    fadd_ports: Tuple[str, ...] = ("fadd",),
+    fadd_latency: int = 3,
+    fmul_ports: Tuple[str, ...] = ("fmul",),
+    fmul_latency: int = 4,
+    fmul_occupancy: int = 1,
+    fdiv_ports: Tuple[str, ...] = ("fmul",),
+    fdiv_latency: int = 30,
+    fdiv_occupancy: int = 30,
+    fsqrt_latency: int = 35,
+    fsqrt_occupancy: int = 35,
+    load_ports: Tuple[str, ...] = ("mem0",),
+    load_latency: int = 3,
+    store_ports: Tuple[str, ...] = ("st0",),
+    branch_latency: int = 1,
+) -> PortTable:
+    """Build a port table from the handful of parameters that matter.
+
+    Defaults describe a generic late-90s superscalar; the catalog tunes
+    them per CPU.  Square root shares the divide unit (fdiv ports); CPUs
+    without a hardware square root (e.g. Alpha EV56) model the software
+    sequence with a very large fsqrt latency/occupancy.
+    """
+    return PortTable(
+        specs={
+            OpClass.IALU: PortSpec(ialu_ports, ialu_latency),
+            OpClass.IMUL: PortSpec((ialu_ports[0],), imul_latency),
+            OpClass.FPADD: PortSpec(fadd_ports, fadd_latency),
+            OpClass.FPMUL: PortSpec(
+                fmul_ports, fmul_latency, fmul_occupancy
+            ),
+            OpClass.FPDIV: PortSpec(
+                fdiv_ports, fdiv_latency, fdiv_occupancy
+            ),
+            OpClass.FPSQRT: PortSpec(
+                fdiv_ports, fsqrt_latency, fsqrt_occupancy
+            ),
+            OpClass.LOAD: PortSpec(load_ports, load_latency),
+            OpClass.STORE: PortSpec(store_ports, 1),
+            OpClass.BRANCH: PortSpec(("br",), branch_latency),
+            OpClass.NOP: PortSpec((ialu_ports[0],), 1),
+        }
+    )

@@ -1,0 +1,112 @@
+"""Power, thermal and reliability models.
+
+Encodes the physics-of-failure argument at the heart of the paper
+(Section 2.1): "the failure rate of a component doubles for every
+10 degrees-C increase in temperature" (the classic Arrhenius rule of
+thumb reported to the authors by two leading vendors).  Hot, actively
+cooled CPUs therefore fail more, driving the system-administration and
+downtime columns of the TCO table; the 6 W Transmeta needs no active
+cooling and runs reliably in a dusty 80 degrees-F room.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cpus.base import ProcessorSpec
+
+#: Additional watts of machine-room cooling per watt dissipated by
+#: actively cooled equipment (paper Section 4.1: "half a watt per every
+#: watt dissipated").
+COOLING_OVERHEAD_PER_WATT = 0.5
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Electrical model of one compute node."""
+
+    node_watts: float
+    needs_active_cooling: bool
+
+    @classmethod
+    def for_spec(cls, spec: ProcessorSpec) -> "PowerModel":
+        return cls(
+            node_watts=spec.node_watts,
+            needs_active_cooling=spec.needs_active_cooling,
+        )
+
+    @property
+    def cooling_watts(self) -> float:
+        if not self.needs_active_cooling:
+            return 0.0
+        return self.node_watts * COOLING_OVERHEAD_PER_WATT
+
+    @property
+    def total_watts(self) -> float:
+        """Wall power including the cooling burden."""
+        return self.node_watts + self.cooling_watts
+
+    def energy_kwh(self, hours: float) -> float:
+        return self.total_watts * hours / 1000.0
+
+    def energy_cost(self, hours: float, dollars_per_kwh: float = 0.10) -> float:
+        return self.energy_kwh(hours) * dollars_per_kwh
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Maps dissipated power to component operating temperature.
+
+    A simple lumped thermal-resistance model: temperature rises linearly
+    with dissipated power above ambient; active cooling lowers the
+    effective thermal resistance.
+    """
+
+    ambient_celsius: float = 24.0            # ~75 F office
+    c_per_watt_cooled: float = 0.35
+    c_per_watt_passive: float = 0.9
+
+    def component_temperature(self, watts: float,
+                              actively_cooled: bool) -> float:
+        r = self.c_per_watt_cooled if actively_cooled else self.c_per_watt_passive
+        return self.ambient_celsius + r * watts
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Arrhenius-style failure-rate model.
+
+    ``base_rate_per_year`` is the annual failure probability of a node
+    at ``base_temperature``; the rate doubles every
+    ``doubling_celsius`` degrees above it.
+    """
+
+    base_rate_per_year: float = 0.12
+    base_temperature: float = 40.0
+    doubling_celsius: float = 10.0
+
+    def rate_at(self, celsius: float) -> float:
+        """Annual failure rate of a component at *celsius*."""
+        exponent = (celsius - self.base_temperature) / self.doubling_celsius
+        return self.base_rate_per_year * math.pow(2.0, exponent)
+
+    def node_rate(self, spec: ProcessorSpec,
+                  thermal: ThermalModel = ThermalModel()) -> float:
+        temp = thermal.component_temperature(
+            spec.cpu_watts, spec.needs_active_cooling
+        )
+        return self.rate_at(temp)
+
+    def expected_failures(self, spec: ProcessorSpec, nodes: int,
+                          years: float,
+                          thermal: ThermalModel = ThermalModel()) -> float:
+        return self.node_rate(spec, thermal) * nodes * years
+
+    def mtbf_hours(self, spec: ProcessorSpec, nodes: int,
+                   thermal: ThermalModel = ThermalModel()) -> float:
+        """Mean time between failures for a cluster of *nodes*."""
+        rate = self.node_rate(spec, thermal) * nodes
+        if rate <= 0:
+            return math.inf
+        return 8760.0 / rate

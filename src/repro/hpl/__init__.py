@@ -1,0 +1,44 @@
+"""HPL-style Linpack benchmark and the Top500/Green500 view.
+
+Paper Section 4: "the most prominent benchmarking list in the
+high-performance computing community has been the Top500 list ... based
+on the flop rating of a single benchmark, i.e., Linpack, which solves a
+dense system of linear equations."  The paper's critique of ranking by
+flops alone is exactly what its perf/power metric fixes - and what the
+authors' follow-on work turned into the Green500 list.
+
+This package provides both sides of that argument:
+
+- :mod:`repro.hpl.lu` - a from-scratch dense LU solver with partial
+  pivoting, the HPL residual check, and the 2n^3/3 flop ledger;
+- :mod:`repro.hpl.rating` - Linpack ratings for modelled clusters and
+  the two rankings: Top500-style (flops) and Green500-style (flops/W),
+  which invert each other for the Bladed Beowulf, making the paper's
+  point quantitative.
+"""
+
+from repro.hpl.lu import (
+    LinpackResult,
+    hpl_flops,
+    linpack_solve,
+    lu_factor,
+    lu_solve,
+)
+from repro.hpl.rating import (
+    RankedCluster,
+    green500_list,
+    linpack_gflops,
+    top500_list,
+)
+
+__all__ = [
+    "LinpackResult",
+    "RankedCluster",
+    "green500_list",
+    "hpl_flops",
+    "linpack_gflops",
+    "linpack_solve",
+    "lu_factor",
+    "lu_solve",
+    "top500_list",
+]

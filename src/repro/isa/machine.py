@@ -1,0 +1,323 @@
+"""Architectural reference interpreter (golden model) for the guest ISA.
+
+Every other execution engine in the library - the CMS interpreter, the
+translated VLIW code, the hardware CPU models - must produce *exactly*
+the same architectural state as this machine.  The test suite enforces
+that invariant with property-based random programs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.isa.instructions import (
+    FREG_NAMES,
+    IREG_NAMES,
+    Instr,
+    Op,
+    OpClass,
+    Program,
+)
+
+_INT_MASK = (1 << 64) - 1
+_INT_SIGN = 1 << 63
+
+
+def _wrap64(value: int) -> int:
+    """Wrap a Python int to signed 64-bit two's-complement semantics."""
+    value &= _INT_MASK
+    return value - (1 << 64) if value & _INT_SIGN else value
+
+
+class GuestFault(RuntimeError):
+    """Raised on architectural faults (bad address, fp domain error)."""
+
+
+class Memory:
+    """Flat, sparsely-backed, word-addressed guest memory.
+
+    Words hold either a 64-bit integer or an IEEE double; the two spaces
+    are unified (an address holds whatever was last stored there), with
+    typed accessors.  Reading an uninitialised word returns zero, which
+    mirrors a zero-filled allocation.
+    """
+
+    __slots__ = ("_words",)
+
+    def __init__(self, init: Optional[Dict[int, float]] = None) -> None:
+        self._words: Dict[int, float] = dict(init or {})
+
+    def load_int(self, addr: int) -> int:
+        self._check(addr)
+        return int(self._words.get(addr, 0))
+
+    def store_int(self, addr: int, value: int) -> None:
+        self._check(addr)
+        self._words[addr] = _wrap64(int(value))
+
+    def load_fp(self, addr: int) -> float:
+        self._check(addr)
+        return float(self._words.get(addr, 0.0))
+
+    def store_fp(self, addr: int, value: float) -> None:
+        self._check(addr)
+        self._words[addr] = float(value)
+
+    def store_array(self, base: int, values: Iterable[float]) -> None:
+        """Bulk-store floats at consecutive word addresses from *base*."""
+        for i, v in enumerate(values):
+            self.store_fp(base + i, v)
+
+    def load_array(self, base: int, count: int) -> Tuple[float, ...]:
+        return tuple(self.load_fp(base + i) for i in range(count))
+
+    def snapshot(self) -> Dict[int, float]:
+        """A copy of all touched words (for state-equivalence tests)."""
+        return dict(self._words)
+
+    def copy(self) -> "Memory":
+        return Memory(self._words)
+
+    @staticmethod
+    def _check(addr: int) -> None:
+        if not isinstance(addr, int) or addr < 0:
+            raise GuestFault(f"bad guest address {addr!r}")
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+@dataclass
+class MachineState:
+    """Architectural register file, PC and memory of a guest machine."""
+
+    iregs: Dict[str, int] = field(
+        default_factory=lambda: {r: 0 for r in IREG_NAMES}
+    )
+    fregs: Dict[str, float] = field(
+        default_factory=lambda: {f: 0.0 for f in FREG_NAMES}
+    )
+    mem: Memory = field(default_factory=Memory)
+    pc: int = 0
+    halted: bool = False
+
+    def copy(self) -> "MachineState":
+        return MachineState(
+            iregs=dict(self.iregs),
+            fregs=dict(self.fregs),
+            mem=self.mem.copy(),
+            pc=self.pc,
+            halted=self.halted,
+        )
+
+    def architectural_view(self) -> Tuple:
+        """A hashable summary used to compare engines for equivalence.
+
+        Floats are compared by their IEEE bit patterns so that NaNs
+        (which never compare equal as values) still match when both
+        engines produced the same bits.
+        """
+        import struct
+
+        def bits(v) -> object:
+            if isinstance(v, float):
+                return struct.pack("<d", v)
+            return v
+
+        return (
+            tuple(sorted(self.iregs.items())),
+            tuple(sorted((k, bits(v)) for k, v in self.fregs.items())),
+            tuple(
+                sorted((k, bits(v)) for k, v in self.mem.snapshot().items())
+            ),
+            self.halted,
+        )
+
+
+@dataclass
+class ExecStats:
+    """Dynamic execution statistics from a reference run."""
+
+    instructions: int = 0
+    flops: int = 0
+    by_class: Dict[OpClass, int] = field(default_factory=dict)
+    taken_branches: int = 0
+
+    def count(self, instr: Instr, taken: bool = False) -> None:
+        self.instructions += 1
+        self.flops += instr.flops
+        self.by_class[instr.opclass] = self.by_class.get(instr.opclass, 0) + 1
+        if taken:
+            self.taken_branches += 1
+
+    def merge(self, other: "ExecStats") -> None:
+        self.instructions += other.instructions
+        self.flops += other.flops
+        self.taken_branches += other.taken_branches
+        for cls, n in other.by_class.items():
+            self.by_class[cls] = self.by_class.get(cls, 0) + n
+
+
+class Machine:
+    """Executes guest programs one instruction at a time.
+
+    This is the golden model: simple, slow, obviously correct.  It also
+    exposes :meth:`step` so the CMS interpreter module can reuse its
+    semantics while layering its own cost model and profiling on top.
+    """
+
+    def __init__(self, state: Optional[MachineState] = None,
+                 max_steps: int = 10_000_000) -> None:
+        self.state = state if state is not None else MachineState()
+        self.max_steps = max_steps
+        self.stats = ExecStats()
+
+    # -- single-instruction semantics ------------------------------------
+
+    def step(self, program: Program) -> bool:
+        """Execute one instruction; return ``False`` once halted."""
+        st = self.state
+        if st.halted:
+            return False
+        if not 0 <= st.pc < len(program):
+            raise GuestFault(f"pc {st.pc} outside program {program.name}")
+        instr = program[st.pc]
+        taken = self._execute(instr)
+        self.stats.count(instr, taken)
+        return not st.halted
+
+    def run(self, program: Program) -> ExecStats:
+        """Run *program* from the current PC until HALT."""
+        steps = 0
+        while self.step(program):
+            steps += 1
+            if steps > self.max_steps:
+                raise GuestFault(
+                    f"exceeded max_steps={self.max_steps} in {program.name}"
+                )
+        return self.stats
+
+    # -- semantics of each opcode ----------------------------------------
+
+    def _execute(self, instr: Instr) -> bool:
+        """Apply *instr* to the state; returns True if a branch was taken."""
+        st = self.state
+        op = instr.op
+        ir, fr, mem = st.iregs, st.fregs, st.mem
+        s = instr.srcs
+        next_pc = st.pc + 1
+        taken = False
+
+        if op is Op.ADD:
+            ir[instr.dst] = _wrap64(ir[s[0]] + ir[s[1]])
+        elif op is Op.SUB:
+            ir[instr.dst] = _wrap64(ir[s[0]] - ir[s[1]])
+        elif op is Op.ADDI:
+            ir[instr.dst] = _wrap64(ir[s[0]] + instr.imm)
+        elif op is Op.SUBI:
+            ir[instr.dst] = _wrap64(ir[s[0]] - instr.imm)
+        elif op is Op.MUL:
+            ir[instr.dst] = _wrap64(ir[s[0]] * ir[s[1]])
+        elif op is Op.MULI:
+            ir[instr.dst] = _wrap64(ir[s[0]] * instr.imm)
+        elif op is Op.AND:
+            ir[instr.dst] = _wrap64(ir[s[0]] & ir[s[1]])
+        elif op is Op.OR:
+            ir[instr.dst] = _wrap64(ir[s[0]] | ir[s[1]])
+        elif op is Op.XOR:
+            ir[instr.dst] = _wrap64(ir[s[0]] ^ ir[s[1]])
+        elif op is Op.SHL:
+            ir[instr.dst] = _wrap64(ir[s[0]] << (instr.imm & 63))
+        elif op is Op.SHR:
+            ir[instr.dst] = _wrap64(ir[s[0]] >> (instr.imm & 63))
+        elif op is Op.LI:
+            ir[instr.dst] = _wrap64(instr.imm)
+        elif op is Op.MOV:
+            ir[instr.dst] = ir[s[0]]
+
+        elif op is Op.FADD:
+            fr[instr.dst] = fr[s[0]] + fr[s[1]]
+        elif op is Op.FSUB:
+            fr[instr.dst] = fr[s[0]] - fr[s[1]]
+        elif op is Op.FMUL:
+            fr[instr.dst] = fr[s[0]] * fr[s[1]]
+        elif op is Op.FDIV:
+            denom = fr[s[1]]
+            if denom == 0.0:
+                raise GuestFault("floating-point divide by zero")
+            fr[instr.dst] = fr[s[0]] / denom
+        elif op is Op.FSQRT:
+            val = fr[s[0]]
+            if val < 0.0:
+                raise GuestFault("fsqrt of negative value")
+            fr[instr.dst] = math.sqrt(val)
+        elif op is Op.FMADD:
+            fr[instr.dst] = fr[s[0]] * fr[s[1]] + fr[s[2]]
+        elif op is Op.FNEG:
+            fr[instr.dst] = -fr[s[0]]
+        elif op is Op.FABS:
+            fr[instr.dst] = abs(fr[s[0]])
+        elif op is Op.FLI:
+            fr[instr.dst] = instr.fimm
+        elif op is Op.FMOV:
+            fr[instr.dst] = fr[s[0]]
+        elif op is Op.ITOF:
+            fr[instr.dst] = float(ir[s[0]])
+        elif op is Op.FTOI:
+            ir[instr.dst] = _wrap64(int(fr[s[0]]))
+
+        elif op is Op.LD:
+            ir[instr.dst] = mem.load_int(ir[s[0]] + instr.imm)
+        elif op is Op.ST:
+            mem.store_int(ir[s[0]] + instr.imm, ir[s[1]])
+        elif op is Op.FLD:
+            fr[instr.dst] = mem.load_fp(ir[s[0]] + instr.imm)
+        elif op is Op.FST:
+            mem.store_fp(ir[s[0]] + instr.imm, fr[s[1]])
+
+        elif op is Op.JMP:
+            next_pc, taken = instr.imm, True
+        elif op is Op.BEQ:
+            if ir[s[0]] == ir[s[1]]:
+                next_pc, taken = instr.imm, True
+        elif op is Op.BNE:
+            if ir[s[0]] != ir[s[1]]:
+                next_pc, taken = instr.imm, True
+        elif op is Op.BLT:
+            if ir[s[0]] < ir[s[1]]:
+                next_pc, taken = instr.imm, True
+        elif op is Op.BGE:
+            if ir[s[0]] >= ir[s[1]]:
+                next_pc, taken = instr.imm, True
+        elif op is Op.BEQZ:
+            if ir[s[0]] == 0:
+                next_pc, taken = instr.imm, True
+        elif op is Op.BNEZ:
+            if ir[s[0]] != 0:
+                next_pc, taken = instr.imm, True
+        elif op is Op.FBLT:
+            if fr[s[0]] < fr[s[1]]:
+                next_pc, taken = instr.imm, True
+        elif op is Op.FBGE:
+            if fr[s[0]] >= fr[s[1]]:
+                next_pc, taken = instr.imm, True
+
+        elif op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            st.halted = True
+        else:  # pragma: no cover - exhaustiveness guard
+            raise GuestFault(f"unimplemented opcode {op}")
+
+        st.pc = next_pc
+        return taken
+
+
+def run_program(program: Program, state: Optional[MachineState] = None,
+                max_steps: int = 10_000_000) -> Tuple[MachineState, ExecStats]:
+    """Convenience wrapper: run *program* on a fresh or given state."""
+    machine = Machine(state=state, max_steps=max_steps)
+    stats = machine.run(program)
+    return machine.state, stats

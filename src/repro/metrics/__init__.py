@@ -1,0 +1,42 @@
+"""The paper's contribution: total-cost-of-ownership metrics.
+
+Section 4 proposes **ToPPeR** (Total Price-Performance Ratio), where
+total price is the total cost of ownership::
+
+    TCO = AC + OC
+    AC  = HWC + SWC                      (acquisition)
+    OC  = SAC + PCC + SCC + DTC          (operating)
+
+with SAC the system-administration cost, PCC power-and-cooling, SCC
+space, and DTC downtime - plus the two concrete companions,
+performance/space (Table 6) and performance/power (Table 7).
+"""
+
+from repro.metrics.costs import CostParameters, DEFAULT_COSTS
+from repro.metrics.tco import TcoBreakdown, tco_for, tco_table
+from repro.metrics.topper import (
+    ToPPeR,
+    topper,
+    topper_advantage,
+    paper_headline_claim,
+)
+from repro.metrics.ratios import (
+    perf_power_table,
+    perf_space_table,
+)
+from repro.metrics.report import format_table
+
+__all__ = [
+    "CostParameters",
+    "DEFAULT_COSTS",
+    "TcoBreakdown",
+    "ToPPeR",
+    "format_table",
+    "paper_headline_claim",
+    "perf_power_table",
+    "perf_space_table",
+    "tco_for",
+    "tco_table",
+    "topper",
+    "topper_advantage",
+]

@@ -1,0 +1,67 @@
+"""Cost parameters of the paper's Section 4.1 TCO study.
+
+Every dollar figure the paper states is a named parameter here, so the
+sensitivity benches can sweep them (the paper itself notes most
+operating costs are institution-specific).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Knobs of the TCO model, defaulting to the paper's values."""
+
+    #: Operational lifetime assumed for every cluster.
+    years: float = 4.0
+    #: "a typical utility rate of $0.10/kWh".
+    utility_usd_per_kwh: float = 0.10
+    #: "space is being leased at a cost of $100 per square foot per year".
+    space_usd_per_sqft_year: float = 100.0
+    #: "a conservative $5.00 charged per CPU hour" of downtime.
+    downtime_usd_per_cpu_hour: float = 5.0
+    #: Traditional Beowulf sysadmin: "about $15K/year".
+    traditional_admin_usd_per_year: float = 15_000.0
+    #: Blade setup: "2.5-hour assembly, installation, and configuration".
+    blade_setup_hours: float = 2.5
+    #: Labor rate: "$100/hour".
+    labor_usd_per_hour: float = 100.0
+    #: Blade annual upkeep: "replacement hardware and the labor to
+    #: install it amounts to $1200/year".
+    blade_maintenance_usd_per_year: float = 1_200.0
+    #: Software acquisition cost (Linux/MPI are free; nonzero for
+    #: enterprise what-ifs).
+    software_usd: float = 0.0
+    #: Hours per year, for energy billing.
+    hours_per_year: float = 8_760.0
+
+    def __post_init__(self) -> None:
+        if self.years <= 0:
+            raise ValueError("years must be positive")
+        for field_name in (
+            "utility_usd_per_kwh",
+            "space_usd_per_sqft_year",
+            "downtime_usd_per_cpu_hour",
+            "traditional_admin_usd_per_year",
+            "blade_setup_hours",
+            "labor_usd_per_hour",
+            "blade_maintenance_usd_per_year",
+            "software_usd",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} cannot be negative")
+
+    @property
+    def total_hours(self) -> float:
+        """Powered-on hours over the study lifetime (35,040 at 4 years)."""
+        return self.hours_per_year * self.years
+
+    @property
+    def blade_setup_usd(self) -> float:
+        return self.blade_setup_hours * self.labor_usd_per_hour
+
+
+#: The paper's exact parameterisation.
+DEFAULT_COSTS = CostParameters()

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for benches and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned; floats print with a sensible number of
+    significant digits; everything else left-aligns.
+    """
+    def cell(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 10:
+                return f"{value:.1f}"
+            return f"{value:.3g}"
+        return str(value)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def is_numeric_col(i: int) -> bool:
+        return all(
+            _looks_numeric(row[i]) for row in str_rows if row[i]
+        ) and bool(str_rows)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        parts = []
+        for i, text in enumerate(row):
+            if is_numeric_col(i):
+                parts.append(text.rjust(widths[i]))
+            else:
+                parts.append(text.ljust(widths[i]))
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def _looks_numeric(text: str) -> bool:
+    try:
+        float(text.replace(",", ""))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,144 @@
+"""Morton (Z-order) keys: the hashing scheme of the hashed oct-tree.
+
+Warren & Salmon's parallel hashed oct-tree ["A Parallel Hashed Oct-Tree
+N-Body Algorithm", SC'93] names tree cells by key: the root is 1, and a
+child's key is ``parent_key * 8 + octant``.  A particle's key at maximum
+depth is the sentinel bit followed by its interleaved coordinate bits.
+Sorting particles by key linearises them along a space-filling curve,
+which is also how the parallel decomposition slices the domain.
+
+21 bits per dimension + 1 sentinel bit = 64-bit keys, depth <= 21.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Maximum tree depth representable in a 64-bit key.
+MAX_DEPTH = 21
+
+_U = np.uint64
+_MASKS_SPREAD = (
+    _U(0x1FFFFF),
+    _U(0x1F00000000FFFF),
+    _U(0x1F0000FF0000FF),
+    _U(0x100F00F00F00F00F),
+    _U(0x10C30C30C30C30C3),
+    _U(0x1249249249249249),
+)
+_SHIFTS = (_U(32), _U(16), _U(8), _U(4), _U(2))
+
+#: The root cell's key.
+ROOT_KEY = 1
+
+
+def _spread(v: np.ndarray) -> np.ndarray:
+    """Spread 21-bit integers so bits land every third position."""
+    x = v.astype(np.uint64) & _MASKS_SPREAD[0]
+    for shift, mask in zip(_SHIFTS, _MASKS_SPREAD[1:]):
+        x = (x | (x << shift)) & mask
+    return x
+
+
+def _compact(v: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_spread`."""
+    x = v.astype(np.uint64) & _MASKS_SPREAD[-1]
+    for shift, mask in zip(reversed(_SHIFTS), reversed(_MASKS_SPREAD[:-1])):
+        x = (x | (x >> shift)) & mask
+    return x
+
+
+def morton_encode(ix: np.ndarray, iy: np.ndarray,
+                  iz: np.ndarray) -> np.ndarray:
+    """Interleave three 21-bit integer coordinates into Morton codes."""
+    return (
+        (_spread(np.asarray(ix)) << _U(2))
+        | (_spread(np.asarray(iy)) << _U(1))
+        | _spread(np.asarray(iz))
+    )
+
+
+def morton_decode(code: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recover the integer coordinates from Morton codes."""
+    code = np.asarray(code, dtype=np.uint64)
+    return (
+        _compact(code >> _U(2)),
+        _compact(code >> _U(1)),
+        _compact(code),
+    )
+
+
+def quantize(pos: np.ndarray, lo: np.ndarray, hi: np.ndarray,
+             depth: int = MAX_DEPTH) -> np.ndarray:
+    """Map positions inside box [lo, hi) to integer grid coordinates."""
+    if depth < 1 or depth > MAX_DEPTH:
+        raise ValueError(f"depth must be 1..{MAX_DEPTH}")
+    cells = 1 << depth
+    span = np.maximum(hi - lo, 1e-300)
+    scaled = (pos - lo) / span * cells
+    grid = np.clip(scaled.astype(np.int64), 0, cells - 1)
+    return grid
+
+
+def particle_keys(pos: np.ndarray, lo: np.ndarray, hi: np.ndarray,
+                  depth: int = MAX_DEPTH) -> np.ndarray:
+    """Warren-Salmon keys at *depth* for particles in box [lo, hi).
+
+    The key is ``(1 << 3*depth) | morton``, i.e. the sentinel bit
+    followed by the interleaved coordinates - so keys of different
+    depths never collide in the hash table.
+    """
+    grid = quantize(pos, lo, hi, depth)
+    codes = morton_encode(grid[:, 0], grid[:, 1], grid[:, 2])
+    return codes | (_U(1) << _U(3 * depth))
+
+
+def key_level(key: int) -> int:
+    """Tree depth of a cell key (root = 0)."""
+    k = int(key)
+    if k < 1:
+        raise ValueError("keys are positive")
+    return (k.bit_length() - 1) // 3
+
+
+def parent_key(key: int) -> int:
+    if int(key) == ROOT_KEY:
+        raise ValueError("the root has no parent")
+    return int(key) >> 3
+
+
+def child_key(key: int, octant: int) -> int:
+    if not 0 <= octant < 8:
+        raise ValueError("octant must be 0..7")
+    return (int(key) << 3) | octant
+
+
+def ancestor_at_level(key: int, level: int) -> int:
+    """The enclosing cell of *key* at the (shallower) *level*."""
+    current = key_level(key)
+    if level > current:
+        raise ValueError("level deeper than key's own")
+    return int(key) >> (3 * (current - level))
+
+
+def cell_geometry(key: int, lo: np.ndarray, hi: np.ndarray,
+                  depth: int = MAX_DEPTH) -> Tuple[np.ndarray, float]:
+    """Geometric centre and edge length of a cell in world coordinates.
+
+    *depth* is the quantisation depth used to build the particle keys.
+    """
+    level = key_level(key)
+    code = np.uint64(int(key) & ~(1 << (3 * level)))
+    # Promote the truncated code back to full depth to share decode.
+    full = code << np.uint64(3 * (depth - level))
+    ix, iy, iz = morton_decode(np.array([full]))
+    cells = 1 << depth
+    span = hi - lo
+    size = span / (1 << level)
+    origin = lo + np.array(
+        [float(ix[0]), float(iy[0]), float(iz[0])]
+    ) / cells * span
+    centre = origin + 0.5 * size
+    return centre, float(np.max(size))

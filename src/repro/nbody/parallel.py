@@ -1,0 +1,184 @@
+"""The parallel treecode over SimMPI (Table 2: scalability on MetaBlade).
+
+Decomposition follows Warren-Salmon: particles are sorted along the
+Morton curve and each rank owns a contiguous, leaf-aligned slice,
+balanced by **work** - each particle carries the interaction count it
+cost last step, and slice boundaries equalise that work (first step
+falls back to equal counts).  Each timestep:
+
+1. **allgather** every rank's (positions, masses, work) - the real
+   communication, billed byte-for-byte on the Fast Ethernet star;
+2. every rank builds the tree over the full set (replicated tree; at
+   MetaBlade's scale the locally-essential-tree optimisation the real
+   code uses is unnecessary, and replication is honest about costs);
+3. every rank computes accelerations for its own leaves, charging its
+   *measured* interaction flops to virtual time at the node's sustained
+   rate, then allgathers the accelerations and integrates its slice.
+
+Because every rank computes the same tree and the same per-group
+accelerations, trajectories are bit-identical for any rank count -
+a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.timing import IdealFabric, star_fabric
+from repro.nbody.sim import BUILD_FLOPS_PER_PARTICLE, SimConfig
+from repro.nbody.tree import HashedOctree
+from repro.nbody.traversal import (
+    leaf_aligned_partition,
+    tree_accelerations,
+)
+from repro.simmpi import SimMpiRuntime
+
+
+@dataclass
+class ScalingPoint:
+    """One row of the Table 2 study."""
+
+    cpus: int
+    time_s: float                 # virtual wall time of the run
+    speedup: float
+    efficiency: float
+    comm_fraction: float
+
+
+def parallel_nbody_step(comm, pos_local, vel_local, mass_local,
+                        config: SimConfig, flop_rate: float,
+                        balance: str = "work"):
+    """SPMD program: advance the local slice by ``config.steps`` steps.
+
+    Written generator-style for SimMPI; returns the final local
+    ``(pos, vel)`` slice.  ``balance`` picks the decomposition:
+    ``"work"`` (Warren-Salmon work counters) or ``"count"``.
+    """
+    if balance not in ("work", "count"):
+        raise ValueError("balance must be 'work' or 'count'")
+    pos, vel, mass = pos_local, vel_local, mass_local
+    work = np.ones(len(pos))
+    acc = None
+    for _ in range(config.steps + 1):   # first pass computes initial acc
+        gathered = yield from comm.allgather((pos, mass, work))
+        all_pos = np.vstack([g[0] for g in gathered])
+        all_mass = np.concatenate([g[1] for g in gathered])
+        all_work = np.concatenate([g[2] for g in gathered])
+        offsets = np.cumsum([0] + [len(g[0]) for g in gathered])
+        my_lo, my_hi = offsets[comm.rank], offsets[comm.rank + 1]
+
+        tree = HashedOctree(all_pos, all_mass, leaf_size=config.leaf_size)
+        comm.compute_flops(
+            BUILD_FLOPS_PER_PARTICLE * len(all_pos), flop_rate
+        )
+
+        weights = all_work[tree.order] if balance == "work" else None
+        spans = leaf_aligned_partition(tree, comm.size, weights)
+        lo, hi = spans[comm.rank]
+        acc_sorted, stats = tree_accelerations(
+            tree,
+            theta=config.theta,
+            softening=config.softening,
+            target_slice=(lo, hi),
+            use_karp=config.use_karp,
+        )
+        comm.compute_flops(stats.flops, flop_rate)
+
+        # Fresh per-particle work for next step's decomposition.
+        work_span = np.zeros(hi - lo)
+        for glo, ghi, inter in stats.group_work:
+            if ghi > glo:
+                work_span[glo - lo:ghi - lo] = inter / (ghi - glo)
+
+        # Exchange accelerations (and work) so each rank gets its own
+        # particles back: ownership is by original index.
+        my_sorted_idx = tree.order[lo:hi]          # original indices
+        acc_parts = yield from comm.allgather(
+            (my_sorted_idx, acc_sorted, work_span)
+        )
+        acc_full = np.zeros_like(all_pos)
+        work_full = np.zeros(len(all_pos))
+        for idx, part, wpart in acc_parts:
+            acc_full[idx] = part
+            work_full[idx] = wpart
+        acc_mine = acc_full[my_lo:my_hi]
+        work = work_full[my_lo:my_hi]
+
+        if acc is None:
+            acc = acc_mine
+            continue
+        # KDK using the freshly computed acceleration as the new kick.
+        vel = vel + 0.5 * config.dt * (acc + acc_mine)
+        pos = pos + config.dt * (vel + 0.5 * config.dt * acc_mine)
+        acc = acc_mine
+    return pos, vel
+
+
+def _split(arr: np.ndarray, parts: int) -> List[np.ndarray]:
+    bounds = np.linspace(0, len(arr), parts + 1).astype(int)
+    return [arr[bounds[i]:bounds[i + 1]] for i in range(parts)]
+
+
+def run_parallel_nbody(config: SimConfig, cpus: int, flop_rate: float,
+                       ideal_network: bool = False,
+                       balance: str = "work",
+                       fabric=None):
+    """Run the SPMD treecode on a modelled MetaBlade of *cpus* blades.
+
+    ``fabric`` overrides the interconnect (defaults to the Fast Ethernet
+    star, or :class:`IdealFabric` with ``ideal_network=True``).
+    """
+    pos, vel, mass = config.make_ic()
+    if fabric is None:
+        fabric = IdealFabric(cpus) if ideal_network else star_fabric(cpus)
+    runtime = SimMpiRuntime(cpus, fabric=fabric, flop_rate=flop_rate)
+    pos_parts = _split(pos, cpus)
+    vel_parts = _split(vel, cpus)
+    mass_parts = _split(mass, cpus)
+
+    def program(comm):
+        result = yield from parallel_nbody_step(
+            comm,
+            pos_parts[comm.rank],
+            vel_parts[comm.rank],
+            mass_parts[comm.rank],
+            config,
+            flop_rate,
+            balance=balance,
+        )
+        return result
+
+    return runtime.run(program)
+
+
+def scaling_study(config: SimConfig, cpu_counts: Tuple[int, ...],
+                  flop_rate: float,
+                  ideal_network: bool = False,
+                  balance: str = "work") -> List[ScalingPoint]:
+    """Regenerate Table 2: time and speedup vs CPU count."""
+    points: List[ScalingPoint] = []
+    base_time: Optional[float] = None
+    for cpus in cpu_counts:
+        run = run_parallel_nbody(
+            config, cpus, flop_rate,
+            ideal_network=ideal_network, balance=balance,
+        )
+        t = run.elapsed_s
+        if base_time is None:
+            # Normalise against the first configuration (scaled if the
+            # list does not start at one CPU).
+            base_time = t * cpus if cpus != 1 else t
+        speedup = base_time / t
+        points.append(
+            ScalingPoint(
+                cpus=cpus,
+                time_s=t,
+                speedup=speedup,
+                efficiency=speedup / cpus,
+                comm_fraction=run.communication_fraction,
+            )
+        )
+    return points

@@ -1,0 +1,265 @@
+"""Barnes-Hut force walks over the hashed octree, one leaf group at a time.
+
+For every leaf cell the walk assembles two interaction lists:
+
+- **cell interactions**: nodes whose monopole satisfies the group
+  multipole-acceptance criterion (MAC) with respect to the whole leaf
+  group - evaluated vectorised, one NumPy expression per group;
+- **direct interactions**: particles of leaf cells that had to be
+  opened to the bottom - evaluated pairwise (softened, so the self term
+  vanishes naturally).
+
+The MAC is the group-radius form: accept a node of edge ``s`` at
+centre-of-mass distance ``d`` from the group centre when
+
+    s / (d - r_group) < theta
+
+which is conservative for every particle in the group.  Ancestors of
+the group are always opened regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nbody.karp import karp_rsqrt
+from repro.nbody.kernels import INTERACTION_FLOPS
+from repro.nbody.morton import ancestor_at_level
+from repro.nbody.tree import HashedOctree, TreeNode
+
+
+@dataclass
+class TraversalStats:
+    """Work accounting for one full force evaluation."""
+
+    particle_cell: int = 0
+    particle_particle: int = 0
+    groups: int = 0
+    nodes_opened: int = 0
+    #: per-group records ``(lo, hi, interactions)`` in sorted index
+    #: space - the raw material of work-based decomposition.
+    group_work: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def interactions(self) -> int:
+        return self.particle_cell + self.particle_particle
+
+    @property
+    def flops(self) -> int:
+        return self.interactions * INTERACTION_FLOPS
+
+    def merge(self, other: "TraversalStats") -> None:
+        self.particle_cell += other.particle_cell
+        self.particle_particle += other.particle_particle
+        self.groups += other.groups
+        self.nodes_opened += other.nodes_opened
+
+
+def _rsqrt(r2: np.ndarray, use_karp: bool) -> np.ndarray:
+    out = np.zeros_like(r2)
+    nz = r2 > 0.0
+    if use_karp:
+        out[nz] = karp_rsqrt(r2[nz])
+    else:
+        out[nz] = 1.0 / np.sqrt(r2[nz])
+    return out
+
+
+def _group_geometry(tree: HashedOctree,
+                    leaf: TreeNode) -> Tuple[np.ndarray, float]:
+    """Centroid and enclosing radius of a leaf group's particles."""
+    pts = tree.pos[leaf.lo:leaf.hi]
+    centre = pts.mean(axis=0)
+    radius = float(np.sqrt(((pts - centre) ** 2).sum(axis=1).max()))
+    return centre, radius
+
+
+def _is_ancestor(node: TreeNode, leaf: TreeNode) -> bool:
+    if node.level > leaf.level:
+        return False
+    return ancestor_at_level(leaf.key, node.level) == node.key
+
+
+def interaction_lists(
+    tree: HashedOctree, leaf: TreeNode, theta: float,
+    stats: Optional[TraversalStats] = None,
+) -> Tuple[List[TreeNode], List[TreeNode]]:
+    """Walk the tree for one leaf group; returns (cells, direct_leaves)."""
+    centre, radius = _group_geometry(tree, leaf)
+    cells: List[TreeNode] = []
+    direct: List[TreeNode] = []
+    stack: List[TreeNode] = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.mass <= 0.0:
+            continue
+        if node.is_leaf:
+            direct.append(node)
+            continue
+        if not _is_ancestor(node, leaf):
+            d = float(np.linalg.norm(node.com - centre))
+            margin = d - radius
+            if margin > 0.0 and node.size < theta * margin:
+                cells.append(node)
+                continue
+        if stats is not None:
+            stats.nodes_opened += 1
+        for ckey in node.children:
+            stack.append(tree.nodes[ckey])
+    return cells, direct
+
+
+def _evaluate_group(
+    tree: HashedOctree, leaf: TreeNode,
+    cells: List[TreeNode], direct: List[TreeNode],
+    softening: float, g: float, use_karp: bool,
+    stats: TraversalStats, use_quadrupole: bool = False,
+) -> np.ndarray:
+    targets = tree.pos[leaf.lo:leaf.hi]
+    acc = np.zeros_like(targets)
+    eps2 = softening * softening
+
+    if cells:
+        coms = np.array([c.com for c in cells])            # (m, 3)
+        masses = np.array([c.mass for c in cells])         # (m,)
+        diff = coms[None, :, :] - targets[:, None, :]      # (g, m, 3)
+        r2 = np.einsum("ijk,ijk->ij", diff, diff) + eps2
+        rinv = _rsqrt(r2, use_karp)
+        rinv3 = rinv * rinv * rinv
+        acc += g * np.einsum("ij,ijk->ik", masses * rinv3, diff)
+        stats.particle_cell += targets.shape[0] * len(cells)
+        if use_quadrupole:
+            from repro.nbody.multipole import quadrupole_acceleration
+            quads = np.array([c.quadrupole for c in cells])
+            acc += quadrupole_acceleration(diff, rinv, quads, g).sum(axis=1)
+            # The expansion term costs roughly another interaction's
+            # worth of flops per particle-cell pair.
+            stats.particle_cell += targets.shape[0] * len(cells)
+
+    if direct:
+        idx = np.concatenate(
+            [np.arange(n.lo, n.hi) for n in direct]
+        )
+        src_pos = tree.pos[idx]
+        src_mass = tree.mass[idx]
+        diff = src_pos[None, :, :] - targets[:, None, :]
+        r2 = np.einsum("ijk,ijk->ij", diff, diff) + eps2
+        rinv = _rsqrt(r2, use_karp)
+        rinv3 = rinv * rinv * rinv
+        # Self-pairs have diff = 0 and contribute nothing.
+        acc += g * np.einsum("ij,ijk->ik", src_mass * rinv3, diff)
+        stats.particle_particle += targets.shape[0] * len(idx)
+
+    return acc
+
+
+def tree_accelerations(
+    tree: HashedOctree,
+    theta: float = 0.7,
+    softening: float = 1e-3,
+    g: float = 1.0,
+    use_karp: bool = False,
+    target_slice: Optional[Tuple[int, int]] = None,
+    use_quadrupole: bool = False,
+) -> Tuple[np.ndarray, TraversalStats]:
+    """Accelerations for all (or a slice of) particles.
+
+    Returns ``(acc, stats)`` with *acc* in the **original** particle
+    order when ``target_slice`` is None, or in **sorted** order covering
+    ``[lo, hi)`` when a slice is given (the parallel code works in
+    sorted order throughout).
+    """
+    if theta <= 0:
+        raise ValueError("theta must be positive")
+    if use_quadrupole and not tree.quadrupoles_enabled:
+        raise ValueError(
+            "tree was built without quadrupoles; pass quadrupoles=True "
+            "to HashedOctree"
+        )
+    stats = TraversalStats()
+    n = tree.n_particles
+    lo, hi = target_slice if target_slice is not None else (0, n)
+    if not 0 <= lo <= hi <= n:
+        raise ValueError(f"bad target slice [{lo}, {hi})")
+    acc_sorted = np.zeros((hi - lo, 3))
+    for leaf in tree.leaves():
+        if leaf.hi <= lo or leaf.lo >= hi:
+            continue
+        if leaf.lo < lo or leaf.hi > hi:
+            raise ValueError(
+                "target slice must align with leaf boundaries; use "
+                "HashedOctree leaves() to pick boundaries"
+            )
+        if leaf.count == 0:
+            continue
+        before = stats.interactions
+        cells, direct = interaction_lists(tree, leaf, theta, stats)
+        acc_sorted[leaf.lo - lo:leaf.hi - lo] = _evaluate_group(
+            tree, leaf, cells, direct, softening, g, use_karp, stats,
+            use_quadrupole=use_quadrupole,
+        )
+        stats.groups += 1
+        stats.group_work.append(
+            (leaf.lo, leaf.hi, stats.interactions - before)
+        )
+    if target_slice is not None:
+        return acc_sorted, stats
+    return tree.unsort(acc_sorted), stats
+
+
+def leaf_aligned_partition(
+    tree: HashedOctree,
+    parts: int,
+    particle_weights: Optional[np.ndarray] = None,
+) -> List[Tuple[int, int]]:
+    """Split the sorted particle range into *parts* leaf-aligned slices.
+
+    With no weights, slices hold roughly equal particle counts.  With
+    *particle_weights* (sorted order, e.g. last step's per-particle
+    interaction counts), slices hold roughly equal work - the
+    Warren-Salmon work-based decomposition.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    n = tree.n_particles
+    if particle_weights is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(particle_weights, dtype=np.float64)
+        if weights.shape != (n,):
+            raise ValueError("weights must be one per particle")
+        if np.any(weights < 0):
+            raise ValueError("weights cannot be negative")
+        if weights.sum() <= 0:
+            weights = np.ones(n)
+    cum = np.concatenate(([0.0], np.cumsum(weights)))
+    total = cum[-1]
+    edges = [0]
+    leaf_ends = [leaf.hi for leaf in tree.leaves()]
+    target = total / parts
+    want = target
+    for end in leaf_ends:
+        if cum[end] >= want and len(edges) < parts:
+            edges.append(end)
+            want = target * len(edges)
+    while len(edges) < parts + 1:
+        edges.append(n)
+    edges[-1] = n
+    return [(edges[i], edges[i + 1]) for i in range(parts)]
+
+
+def work_per_particle(tree: HashedOctree,
+                      stats: TraversalStats) -> np.ndarray:
+    """Spread each group's interaction count over its particles.
+
+    Returned in **original** particle order so it can travel with the
+    particles across steps and decompositions.
+    """
+    work_sorted = np.zeros(tree.n_particles)
+    for lo, hi, interactions in stats.group_work:
+        if hi > lo:
+            work_sorted[lo:hi] = interactions / (hi - lo)
+    return tree.unsort(work_sorted)

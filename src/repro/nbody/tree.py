@@ -1,0 +1,250 @@
+"""The key-hashed octree (Warren-Salmon style).
+
+Cells are named by Morton-derived keys and stored in a hash table
+(a dict), so any cell - and any particle's enclosing cell at any level -
+is reachable in O(1) without pointer chasing.  Particles are sorted by
+key once; every cell then owns a contiguous slice of the sorted arrays,
+and multipole moments come from prefix sums in O(1) per cell.
+
+Moments are monopole (mass + centre of mass); the acceptance criterion
+in :mod:`repro.nbody.traversal` compensates with a conservative opening
+angle, which is the standard Barnes-Hut trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nbody.morton import (
+    MAX_DEPTH,
+    ROOT_KEY,
+    ancestor_at_level,
+    cell_geometry,
+    key_level,
+    particle_keys,
+)
+
+
+@dataclass
+class TreeNode:
+    """One cell of the octree."""
+
+    key: int
+    level: int
+    lo: int                 # slice into the sorted particle arrays
+    hi: int
+    mass: float
+    com: np.ndarray         # centre of mass (3,)
+    centre: np.ndarray      # geometric cell centre (3,)
+    size: float             # cell edge length
+    is_leaf: bool
+    children: Tuple[int, ...] = ()
+    #: Traceless quadrupole tensor (3x3) when the tree carries them.
+    quadrupole: Optional[np.ndarray] = None
+
+    @property
+    def count(self) -> int:
+        return self.hi - self.lo
+
+
+class HashedOctree:
+    """Builds and owns the hashed octree for one particle snapshot."""
+
+    def __init__(self, pos: np.ndarray, mass: np.ndarray,
+                 leaf_size: int = 16, depth: int = MAX_DEPTH,
+                 bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+                 quadrupoles: bool = False):
+        pos = np.asarray(pos, dtype=np.float64)
+        mass = np.asarray(mass, dtype=np.float64)
+        n = len(pos)
+        if n == 0:
+            raise ValueError("cannot build a tree with no particles")
+        if pos.shape != (n, 3) or mass.shape != (n,):
+            raise ValueError("pos must be (N,3) and mass (N,)")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.leaf_size = leaf_size
+        self.depth = min(depth, MAX_DEPTH)
+
+        if bounds is None:
+            lo = pos.min(axis=0)
+            hi = pos.max(axis=0)
+        else:
+            lo, hi = (np.asarray(b, dtype=np.float64) for b in bounds)
+        # Cubify with a little padding so every particle is interior.
+        span = float(np.max(hi - lo)) or 1.0
+        pad = 1e-6 * span
+        centre = 0.5 * (lo + hi)
+        half = 0.5 * span + pad
+        self.box_lo = centre - half
+        self.box_hi = centre + half
+
+        keys = particle_keys(pos, self.box_lo, self.box_hi, self.depth)
+        self.order = np.argsort(keys, kind="stable")
+        self.keys = keys[self.order]
+        self.pos = pos[self.order]
+        self.mass = mass[self.order]
+
+        # Prefix sums make any cell's monopole O(1).
+        self._cum_mass = np.concatenate(([0.0], np.cumsum(self.mass)))
+        self._cum_mpos = np.concatenate(
+            (np.zeros((1, 3)), np.cumsum(self.mass[:, None] * self.pos, axis=0))
+        )
+        #: Raw second moments (sum m x x^T) for quadrupole cells.
+        self.quadrupoles_enabled = quadrupoles
+        if quadrupoles:
+            outer = (
+                self.mass[:, None, None]
+                * self.pos[:, :, None]
+                * self.pos[:, None, :]
+            )
+            self._cum_m2 = np.concatenate(
+                (np.zeros((1, 3, 3)), np.cumsum(outer, axis=0))
+            )
+        else:
+            self._cum_m2 = None
+
+        self.nodes: Dict[int, TreeNode] = {}
+        self._leaf_keys: List[int] = []
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _moments(self, lo: int, hi: int) -> Tuple[float, np.ndarray]:
+        m = self._cum_mass[hi] - self._cum_mass[lo]
+        if m <= 0:
+            return 0.0, 0.5 * (self.box_lo + self.box_hi)
+        com = (self._cum_mpos[hi] - self._cum_mpos[lo]) / m
+        return float(m), com
+
+    def _make_node(self, key: int, level: int, lo: int, hi: int,
+                   is_leaf: bool) -> TreeNode:
+        mass, com = self._moments(lo, hi)
+        centre, size = cell_geometry(key, self.box_lo, self.box_hi, self.depth)
+        quad = None
+        if self.quadrupoles_enabled and mass > 0:
+            from repro.nbody.multipole import quadrupole_from_sums
+            second = self._cum_m2[hi] - self._cum_m2[lo]
+            quad = quadrupole_from_sums(mass, com, second)
+        node = TreeNode(
+            key=key, level=level, lo=lo, hi=hi, mass=mass, com=com,
+            centre=centre, size=size, is_leaf=is_leaf, quadrupole=quad,
+        )
+        self.nodes[key] = node
+        if is_leaf:
+            self._leaf_keys.append(key)
+        return node
+
+    def _build(self) -> None:
+        n = len(self.keys)
+        stack: List[Tuple[int, int, int, int]] = [(ROOT_KEY, 0, 0, n)]
+        while stack:
+            key, level, lo, hi = stack.pop()
+            count = hi - lo
+            if count <= self.leaf_size or level >= self.depth:
+                self._make_node(key, level, lo, hi, is_leaf=True)
+                continue
+            node = self._make_node(key, level, lo, hi, is_leaf=False)
+            shift = np.uint64(3 * (self.depth - level - 1))
+            children: List[int] = []
+            boundaries = [lo]
+            base = (key << 3)
+            for octant in range(1, 8):
+                probe = np.uint64(base + octant) << shift
+                boundaries.append(
+                    lo + int(np.searchsorted(
+                        self.keys[lo:hi], probe, side="left"
+                    ))
+                )
+            boundaries.append(hi)
+            for octant in range(8):
+                clo, chi = boundaries[octant], boundaries[octant + 1]
+                if chi > clo:
+                    ckey = base | octant
+                    children.append(ckey)
+                    stack.append((ckey, level + 1, clo, chi))
+            node.children = tuple(children)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def root(self) -> TreeNode:
+        return self.nodes[ROOT_KEY]
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.keys)
+
+    def leaves(self) -> Iterator[TreeNode]:
+        """Leaves in space-filling-curve order.
+
+        Ordered by slice start: integer key order would interleave
+        levels (a deeper key is numerically larger than every shallower
+        one), but the slices tile [0, N) along the curve by construction.
+        """
+        for key in sorted(self._leaf_keys,
+                          key=lambda k: self.nodes[k].lo):
+            yield self.nodes[key]
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def lookup(self, key: int) -> TreeNode:
+        """O(1) cell lookup by key - the point of the hashed design."""
+        return self.nodes[key]
+
+    def contains_key(self, key: int) -> bool:
+        return key in self.nodes
+
+    def enclosing_leaf(self, sorted_index: int) -> TreeNode:
+        """The leaf owning the particle at *sorted_index*.
+
+        Walks levels of the particle's own key through the hash table -
+        no tree descent required.
+        """
+        pkey = int(self.keys[sorted_index])
+        for level in range(self.depth + 1):
+            candidate = ancestor_at_level(pkey, level)
+            node = self.nodes.get(candidate)
+            if node is not None and node.is_leaf:
+                if node.lo <= sorted_index < node.hi:
+                    return node
+        raise KeyError(f"no leaf found for particle {sorted_index}")
+
+    def unsort(self, values_sorted: np.ndarray) -> np.ndarray:
+        """Map per-particle values from sorted order back to input order."""
+        out = np.empty_like(values_sorted)
+        out[self.order] = values_sorted
+        return out
+
+    def validate(self) -> None:
+        """Structural invariants (used by the property-based tests)."""
+        n = self.n_particles
+        root = self.root
+        if (root.lo, root.hi) != (0, n):
+            raise AssertionError("root does not cover all particles")
+        total_mass = float(np.sum(self.mass))
+        if not np.isclose(root.mass, total_mass, rtol=1e-12):
+            raise AssertionError("root mass != total mass")
+        for node in self.nodes.values():
+            if node.is_leaf:
+                if node.count > self.leaf_size and node.level < self.depth:
+                    raise AssertionError("oversized leaf above max depth")
+                continue
+            spans = [
+                (self.nodes[c].lo, self.nodes[c].hi) for c in node.children
+            ]
+            spans.sort()
+            if not spans:
+                raise AssertionError("internal node with no children")
+            if spans[0][0] != node.lo or spans[-1][1] != node.hi:
+                raise AssertionError("children do not tile the parent")
+            for (a, b), (c, d) in zip(spans, spans[1:]):
+                if b != c:
+                    raise AssertionError("gap or overlap between children")
+            child_mass = sum(self.nodes[c].mass for c in node.children)
+            if not np.isclose(child_mass, node.mass, rtol=1e-9, atol=1e-12):
+                raise AssertionError("child masses do not sum to parent")

@@ -1,0 +1,34 @@
+"""Cluster interconnect models.
+
+The MetaBlade cluster connects every compute node's 100 Mb/s Fast
+Ethernet interface to a single switch, "resulting in a cluster with a
+star topology" (paper Section 3.1).  This package models that fabric:
+links with latency + serialisation bandwidth, NICs with per-message host
+overhead, a store-and-forward switch with a finite backplane, and a
+topology layer that routes node-to-node transfers through the star.
+
+The timing model is LogGP-flavoured: a message of n bytes costs
+``o_send + L + n/B + o_recv`` end to end, with per-resource busy
+tracking so concurrent transfers contend for NICs and backplane.
+"""
+
+from repro.network.link import Link, LinkSchedule, FAST_ETHERNET, GIGABIT_ETHERNET
+from repro.network.nic import Nic, FAST_ETHERNET_NIC
+from repro.network.switch import Switch, FAST_ETHERNET_SWITCH_24
+from repro.network.topology import StarTopology, Transfer
+from repro.network.timing import IdealFabric, Fabric
+
+__all__ = [
+    "FAST_ETHERNET",
+    "FAST_ETHERNET_NIC",
+    "FAST_ETHERNET_SWITCH_24",
+    "Fabric",
+    "GIGABIT_ETHERNET",
+    "IdealFabric",
+    "Link",
+    "LinkSchedule",
+    "Nic",
+    "StarTopology",
+    "Switch",
+    "Transfer",
+]

@@ -1,0 +1,120 @@
+"""Point-to-point link model with latency and serialisation bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Link:
+    """A full-duplex link: per-direction bandwidth plus wire latency."""
+
+    name: str
+    bandwidth_bps: float     # bits per second, per direction
+    latency_s: float         # propagation + PHY latency per traversal
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency cannot be negative")
+
+    def serialization_s(self, nbytes: int) -> float:
+        """Time to clock *nbytes* onto the wire."""
+        return 8.0 * nbytes / self.bandwidth_bps
+
+    def transfer_s(self, nbytes: int) -> float:
+        """Unloaded end-to-end time for one message on this link."""
+        return self.latency_s + self.serialization_s(nbytes)
+
+
+#: The MetaBlade fabric: 100 Mb/s Fast Ethernet.
+FAST_ETHERNET = Link(
+    name="Fast Ethernet", bandwidth_bps=100e6, latency_s=40e-6
+)
+
+#: For what-if studies (not used by MetaBlade).
+GIGABIT_ETHERNET = Link(
+    name="Gigabit Ethernet", bandwidth_bps=1e9, latency_s=25e-6
+)
+
+
+class Calendar:
+    """Busy-interval calendar for a serially-shared resource.
+
+    The SimMPI scheduler interleaves ranks cooperatively, so bookings
+    arrive out of *virtual-time* order: a rank that raced ahead must not
+    push the resource's availability forward for a message posted
+    earlier in virtual time.  A calendar books each transfer into the
+    earliest idle gap at-or-after its ready time instead.
+    """
+
+    __slots__ = ("starts", "ends", "busy_s", "transfers")
+
+    _PRUNE_AT = 1024
+
+    def __init__(self) -> None:
+        self.starts: list = []
+        self.ends: list = []
+        self.busy_s = 0.0
+        self.transfers = 0
+
+    def book(self, ready: float, duration: float) -> float:
+        """Reserve *duration* at the earliest start >= ready."""
+        from bisect import bisect_right
+
+        starts, ends = self.starts, self.ends
+        i = bisect_right(starts, ready)
+        s = ready
+        if i > 0 and ends[i - 1] > s:
+            s = ends[i - 1]
+        while i < len(starts) and starts[i] < s + duration:
+            if ends[i] > s:
+                s = ends[i]
+            i += 1
+        starts.insert(i, s)
+        ends.insert(i, s + duration)
+        if len(starts) > self._PRUNE_AT:
+            keep = self._PRUNE_AT // 2
+            del starts[:-keep]
+            del ends[:-keep]
+        self.busy_s += duration
+        self.transfers += 1
+        return s
+
+    def reset(self) -> None:
+        self.starts.clear()
+        self.ends.clear()
+        self.busy_s = 0.0
+        self.transfers = 0
+
+
+class LinkSchedule:
+    """Serialisation contention for one direction of a physical link.
+
+    A transfer asked to depart at *t* departs in the earliest idle slot
+    at-or-after *t* and holds the wire for its serialisation time.
+    """
+
+    __slots__ = ("link", "_calendar")
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+        self._calendar = Calendar()
+
+    @property
+    def busy_s(self) -> float:
+        return self._calendar.busy_s
+
+    @property
+    def transfers(self) -> int:
+        return self._calendar.transfers
+
+    def occupy(self, earliest: float, nbytes: int) -> tuple:
+        """Reserve the wire; returns ``(depart, arrive)`` times."""
+        ser = self.link.serialization_s(nbytes)
+        depart = self._calendar.book(earliest, ser)
+        return depart, depart + ser + self.link.latency_s
+
+    def reset(self) -> None:
+        self._calendar.reset()

@@ -1,0 +1,147 @@
+"""Two-level fabric: the Green Destiny rack network.
+
+A single 24-port switch carries MetaBlade; Green Destiny's ten chassis
+each bring their own Network Connect switch, uplinked to a rack
+aggregation switch.  Intra-chassis traffic stays local (two link hops);
+inter-chassis traffic additionally crosses the chassis uplink, the
+aggregation switch and the destination chassis' uplink - and the
+uplinks, shared by 24 blades each, are where scale-out bites.
+
+Implements the same :class:`~repro.network.timing.Fabric` protocol as
+the star, so SimMPI programs run on either unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.network.link import FAST_ETHERNET, GIGABIT_ETHERNET, Link, LinkSchedule
+from repro.network.nic import FAST_ETHERNET_NIC, Nic
+from repro.network.switch import BackplaneSchedule, Switch
+from repro.network.topology import Transfer
+
+
+@dataclass(frozen=True)
+class RackFabricConfig:
+    """Parameters of the two-level network."""
+
+    nodes_per_chassis: int = 24
+    nic: Nic = FAST_ETHERNET_NIC
+    #: Chassis uplink to the aggregation switch.  Green Destiny used
+    #: Gigabit uplinks; set to FAST_ETHERNET for the oversubscription
+    #: ablation.
+    uplink: Link = GIGABIT_ETHERNET
+    forward_latency_s: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_chassis < 1:
+            raise ValueError("nodes_per_chassis must be >= 1")
+
+    @property
+    def oversubscription(self) -> float:
+        """Worst-case chassis ingress vs uplink capacity."""
+        return (
+            self.nodes_per_chassis * self.nic.link.bandwidth_bps
+            / self.uplink.bandwidth_bps
+        )
+
+
+class RackTopology:
+    """N blades in ceil(N/24) chassis behind one aggregation switch."""
+
+    def __init__(self, nodes: int,
+                 config: RackFabricConfig = RackFabricConfig()) -> None:
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        self.nodes = nodes
+        self.config = config
+        per = config.nodes_per_chassis
+        self.chassis_count = (nodes + per - 1) // per
+        nic_link = config.nic.link
+        self._up: List[LinkSchedule] = [
+            LinkSchedule(nic_link) for _ in range(nodes)
+        ]
+        self._down: List[LinkSchedule] = [
+            LinkSchedule(nic_link) for _ in range(nodes)
+        ]
+        # Per-chassis uplink/downlink to the aggregation switch.
+        self._chassis_up: List[LinkSchedule] = [
+            LinkSchedule(config.uplink) for _ in range(self.chassis_count)
+        ]
+        self._chassis_down: List[LinkSchedule] = [
+            LinkSchedule(config.uplink) for _ in range(self.chassis_count)
+        ]
+        agg = Switch(
+            name="rack aggregation",
+            ports=max(self.chassis_count, 2),
+            port_link=config.uplink,
+            forward_latency_s=config.forward_latency_s,
+            backplane_bps=max(
+                2.1 * self.chassis_count * config.uplink.bandwidth_bps,
+                1e9,
+            ),
+        )
+        self._agg = BackplaneSchedule(agg)
+        self.transfers: List[Transfer] = []
+
+    def chassis_of(self, node: int) -> int:
+        return node // self.config.nodes_per_chassis
+
+    def reset(self) -> None:
+        for sched in (*self._up, *self._down,
+                      *self._chassis_up, *self._chassis_down):
+            sched.reset()
+        self._agg.reset()
+        self.transfers.clear()
+
+    def send(self, src: int, dst: int, nbytes: int,
+             post_time: float) -> Transfer:
+        self._check(src)
+        self._check(dst)
+        nic = self.config.nic
+        if src == dst:
+            arrive = post_time + nic.send_overhead_s + nic.recv_overhead_s
+            t = Transfer(src, dst, nbytes, post_time, post_time, arrive)
+            self.transfers.append(t)
+            return t
+        ready = post_time + nic.send_overhead_s
+        depart, t_cursor = self._up[src].occupy(ready, nbytes)
+        src_ch = self.chassis_of(src)
+        dst_ch = self.chassis_of(dst)
+        if src_ch != dst_ch:
+            # Chassis switch forwards up, aggregation forwards across,
+            # destination chassis switch forwards down.
+            t_cursor += self.config.forward_latency_s
+            _, t_cursor = self._chassis_up[src_ch].occupy(t_cursor, nbytes)
+            t_cursor = self._agg.occupy(t_cursor, nbytes)
+            _, t_cursor = self._chassis_down[dst_ch].occupy(
+                t_cursor, nbytes
+            )
+        else:
+            t_cursor += self.config.forward_latency_s
+        _, t_cursor = self._down[dst].occupy(t_cursor, nbytes)
+        arrive = t_cursor + nic.recv_overhead_s
+        t = Transfer(src, dst, nbytes, post_time, depart, arrive)
+        self.transfers.append(t)
+        return t
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} outside 0..{self.nodes - 1}")
+
+    # -- diagnostics -------------------------------------------------------
+
+    def uplink_busy_s(self, chassis: int) -> float:
+        return self._chassis_up[chassis].busy_s
+
+    def total_bytes(self) -> int:
+        return sum(t.nbytes for t in self.transfers)
+
+
+def green_destiny_fabric(nodes: int = 240,
+                         uplink: Link = GIGABIT_ETHERNET) -> RackTopology:
+    """The Green Destiny rack network sized for *nodes* blades."""
+    return RackTopology(
+        nodes=nodes, config=RackFabricConfig(uplink=uplink)
+    )

@@ -1,0 +1,39 @@
+"""Network interface model: host-side per-message overheads.
+
+On a Beowulf running TCP/IP over Fast Ethernet, the dominant small-
+message cost is the host software stack, not the wire.  Each RLX
+ServerBlade carries three 100 Mb/s interfaces (management, public,
+private); the compute fabric uses one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.link import FAST_ETHERNET, Link
+
+
+@dataclass(frozen=True)
+class Nic:
+    """A network interface: its link plus CPU send/receive overheads."""
+
+    name: str
+    link: Link
+    send_overhead_s: float = 15e-6    # host stack cost to post a send
+    recv_overhead_s: float = 15e-6    # host stack cost to complete a recv
+
+    def __post_init__(self) -> None:
+        if self.send_overhead_s < 0 or self.recv_overhead_s < 0:
+            raise ValueError("overheads cannot be negative")
+
+    def message_cost_s(self, nbytes: int) -> float:
+        """Unloaded end-to-end cost of one message through this NIC."""
+        return (
+            self.send_overhead_s
+            + self.link.transfer_s(nbytes)
+            + self.recv_overhead_s
+        )
+
+
+#: The ServerBlade's onboard interface (MPI over TCP over 100 Mb/s).
+FAST_ETHERNET_NIC = Nic(name="ServerBlade FE NIC", link=FAST_ETHERNET)

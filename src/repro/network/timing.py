@@ -1,0 +1,49 @@
+"""Fabric abstraction: anything that can time a node-to-node message.
+
+:class:`StarTopology` is the real MetaBlade fabric; :class:`IdealFabric`
+has zero latency and infinite bandwidth and exists for the ablation
+bench that demonstrates Table 2's efficiency drop is communication-
+driven (on an ideal fabric the N-body code scales almost perfectly).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.network.topology import StarTopology, Transfer
+
+
+@runtime_checkable
+class Fabric(Protocol):
+    """Structural interface shared by all interconnect models."""
+
+    nodes: int
+
+    def send(self, src: int, dst: int, nbytes: int,
+             post_time: float) -> Transfer: ...
+
+    def reset(self) -> None: ...
+
+
+class IdealFabric:
+    """A zero-cost interconnect (PRAM-style upper bound)."""
+
+    def __init__(self, nodes: int) -> None:
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        self.nodes = nodes
+        self.transfers = []
+
+    def send(self, src: int, dst: int, nbytes: int,
+             post_time: float) -> Transfer:
+        t = Transfer(src, dst, nbytes, post_time, post_time, post_time)
+        self.transfers.append(t)
+        return t
+
+    def reset(self) -> None:
+        self.transfers.clear()
+
+
+def star_fabric(nodes: int) -> StarTopology:
+    """The MetaBlade fabric sized for *nodes* blades."""
+    return StarTopology(nodes=nodes)

@@ -1,0 +1,106 @@
+"""Star topology: every node's NIC uplinks into one switch.
+
+A transfer from node *a* to node *b* traverses: a's NIC send overhead,
+a's uplink (serialisation, contended per direction), the switch
+backplane, then b's downlink and b's NIC receive overhead.  The
+structure is kept as an explicit graph so alternative topologies (e.g.
+a rack of chassis behind an aggregation switch, as Green Destiny uses)
+compose from the same parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.network.link import LinkSchedule
+from repro.network.nic import FAST_ETHERNET_NIC, Nic
+from repro.network.switch import (
+    BackplaneSchedule,
+    FAST_ETHERNET_SWITCH_24,
+    Switch,
+)
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """Resolved timing of one node-to-node message."""
+
+    src: int
+    dst: int
+    nbytes: int
+    post_time: float      # when the sender posted the message
+    depart_time: float    # when the wire accepted it
+    arrive_time: float    # when the payload is available at dst
+
+
+class StarTopology:
+    """N nodes, one switch, full-duplex uplinks."""
+
+    def __init__(self, nodes: int,
+                 nic: Nic = FAST_ETHERNET_NIC,
+                 switch: Switch = FAST_ETHERNET_SWITCH_24) -> None:
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        if nodes > switch.ports:
+            raise ValueError(
+                f"{nodes} nodes exceed the switch's {switch.ports} ports"
+            )
+        self.nodes = nodes
+        self.nic = nic
+        self.switch = switch
+        # Per-direction schedules: node -> switch and switch -> node.
+        self._up: Dict[int, LinkSchedule] = {
+            n: LinkSchedule(nic.link) for n in range(nodes)
+        }
+        self._down: Dict[int, LinkSchedule] = {
+            n: LinkSchedule(nic.link) for n in range(nodes)
+        }
+        self._backplane = BackplaneSchedule(switch)
+        self.transfers: List[Transfer] = []
+
+    def reset(self) -> None:
+        for sched in self._up.values():
+            sched.reset()
+        for sched in self._down.values():
+            sched.reset()
+        self._backplane.reset()
+        self.transfers.clear()
+
+    def send(self, src: int, dst: int, nbytes: int,
+             post_time: float) -> Transfer:
+        """Route one message; returns its resolved :class:`Transfer`.
+
+        The sender is considered busy for ``nic.send_overhead_s`` after
+        *post_time* (the caller charges that to the sender's clock); the
+        returned ``arrive_time`` includes the receiver-side overhead.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            # Loopback: host stack only, no wire.
+            arrive = post_time + self.nic.send_overhead_s \
+                + self.nic.recv_overhead_s
+            t = Transfer(src, dst, nbytes, post_time, post_time, arrive)
+            self.transfers.append(t)
+            return t
+        ready = post_time + self.nic.send_overhead_s
+        depart, up_done = self._up[src].occupy(ready, nbytes)
+        fwd_done = self._backplane.occupy(up_done, nbytes)
+        _, down_done = self._down[dst].occupy(fwd_done, nbytes)
+        arrive = down_done + self.nic.recv_overhead_s
+        t = Transfer(src, dst, nbytes, post_time, depart, arrive)
+        self.transfers.append(t)
+        return t
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} outside 0..{self.nodes - 1}")
+
+    # -- diagnostics -----------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return sum(t.nbytes for t in self.transfers)
+
+    def uplink_busy_s(self, node: int) -> float:
+        return self._up[node].busy_s

@@ -1,0 +1,50 @@
+"""NAS-style parallel benchmark kernels (NPB 2.3 work-alikes).
+
+The paper's Table 3 reports single-processor Class-W Mops for six NPB
+2.3 codes.  This package implements working NumPy versions of each:
+
+- **EP** - embarrassingly parallel: NPB's 48-bit linear congruential
+  generator, Marsaglia polar Gaussian deviates, annulus tallies;
+- **IS** - integer sort: bucket ranking of LCG-generated keys;
+- **MG** - multigrid V-cycles on the 3-D scalar Poisson equation;
+- **CG** - conjugate gradient eigenvalue estimation on a random sparse
+  SPD matrix (not in the paper's table; included for suite completeness);
+- **BT** - ADI solver using 5x5 block-tridiagonal line solves;
+- **SP** - ADI solver using scalar pentadiagonal line solves;
+- **LU** - SSOR lower/upper sweeps on the same 5-component system.
+
+Each kernel verifies its own numerics (residual reduction, permutation
+checks, statistical moments) and reports an operation count; Mops
+ratings on a given processor come from :mod:`repro.perfmodel`.
+"""
+
+from repro.npb.common import KernelOutcome, OpMix, VerificationError
+from repro.npb.classes import CLASSES, ProblemClass, problem_class
+from repro.npb.ep import run_ep
+from repro.npb.is_ import run_is
+from repro.npb.mg import run_mg
+from repro.npb.cg import run_cg
+from repro.npb.bt import run_bt
+from repro.npb.sp import run_sp
+from repro.npb.lu import run_lu
+from repro.npb.suite import NPB_KERNELS, TABLE3_KERNELS, run_kernel, run_suite
+
+__all__ = [
+    "CLASSES",
+    "KernelOutcome",
+    "NPB_KERNELS",
+    "OpMix",
+    "ProblemClass",
+    "TABLE3_KERNELS",
+    "VerificationError",
+    "problem_class",
+    "run_bt",
+    "run_cg",
+    "run_ep",
+    "run_is",
+    "run_kernel",
+    "run_lu",
+    "run_mg",
+    "run_sp",
+    "run_suite",
+]

@@ -1,0 +1,223 @@
+"""The shared synthetic CFD system behind BT, SP and LU.
+
+The three NPB application benchmarks solve the *same* discretised
+Navier-Stokes-like equations with three different implicit solvers:
+BT factorises into block-tridiagonal line solves, SP diagonalises the
+inter-equation coupling into scalar (penta)diagonal line solves, and LU
+runs SSOR wavefront sweeps.  We mirror that structure exactly on a
+model problem:
+
+    A u = f,   A = I (x) I + c * C (x) (-Laplacian_3D)
+
+with u a 5-component field on an n^3 Dirichlet grid and C a fixed
+symmetric positive-definite 5x5 coupling matrix.  Each solver does
+approximate-factorisation (ADI) or SSOR iterations and must drive the
+true residual of the *same* A down - so the three kernels cross-verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Number of coupled equations per grid point (like NPB's 5).
+NCOMP = 5
+
+#: A fixed SPD coupling matrix (diagonally dominant, condition ~ 3).
+COUPLING = np.array(
+    [
+        [2.0, 0.3, 0.1, 0.0, 0.1],
+        [0.3, 2.2, 0.2, 0.1, 0.0],
+        [0.1, 0.2, 2.5, 0.3, 0.1],
+        [0.0, 0.1, 0.3, 2.1, 0.2],
+        [0.1, 0.0, 0.1, 0.2, 2.4],
+    ]
+)
+
+
+@dataclass(frozen=True)
+class CfdProblem:
+    """One instance of the model system."""
+
+    n: int                      # grid points per dimension
+    c: float                    # diffusion strength (ADI convergence knob)
+
+    @property
+    def h(self) -> float:
+        return 1.0 / (self.n + 1)
+
+    @classmethod
+    def with_cfl(cls, n: int, cfl: float) -> "CfdProblem":
+        """Problem with c scaled so c/h^2 = cfl.
+
+        Keeps the approximate-factorisation contraction rate (set by
+        c/h^2) independent of grid size, so every class converges at
+        the same per-iteration rate - mirroring how the real suite's
+        time step scales with resolution.
+        """
+        h = 1.0 / (n + 1)
+        return cls(n=n, c=cfl * h * h)
+
+    def exact_solution(self) -> np.ndarray:
+        """Smooth manufactured solution, shape (n, n, n, NCOMP)."""
+        n = self.n
+        x = np.linspace(self.h, 1.0 - self.h, n)
+        gx, gy, gz = np.meshgrid(x, x, x, indexing="ij")
+        base = np.sin(np.pi * gx) * np.sin(np.pi * gy) * np.sin(np.pi * gz)
+        comps = [
+            base,
+            gx * (1 - gx) * gy * (1 - gy),
+            np.cos(np.pi * gz) * gx,
+            base * gz,
+            gx + gy - gz,
+        ]
+        return np.stack(comps, axis=-1)
+
+    def laplacian(self, u: np.ndarray) -> np.ndarray:
+        """Dirichlet 7-point Laplacian of a (n,n,n,NCOMP) field."""
+        h2 = self.h * self.h
+        out = -6.0 * u.copy()
+        for axis in range(3):
+            shifted_p = np.zeros_like(u)
+            shifted_m = np.zeros_like(u)
+            src = [slice(None)] * 4
+            dst = [slice(None)] * 4
+            src[axis] = slice(1, None)
+            dst[axis] = slice(None, -1)
+            shifted_p[tuple(dst)] = u[tuple(src)]
+            src[axis] = slice(None, -1)
+            dst[axis] = slice(1, None)
+            shifted_m[tuple(dst)] = u[tuple(src)]
+            out += shifted_p + shifted_m
+        return out / h2
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        """A u = u + c * (-Laplacian u) C^T  (C couples components)."""
+        lap = self.laplacian(u)
+        return u - self.c * lap @ COUPLING.T
+
+    def make_rhs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(f, u_exact) with f = A u_exact."""
+        u = self.exact_solution()
+        return self.apply(u), u
+
+    def residual_norm(self, u: np.ndarray, f: np.ndarray) -> float:
+        return float(np.linalg.norm(f - self.apply(u)))
+
+    # -- 1-D line operators for the factored solvers ----------------------
+
+    def line_tridiag_blocks(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(diag_block, off_block) of I + c*C*(-D2) along one line.
+
+        Constant-coefficient, so a single pair of 5x5 matrices
+        describes every interior point.
+        """
+        h2 = self.h * self.h
+        diag = np.eye(NCOMP) + self.c * (2.0 / h2) * COUPLING
+        off = -self.c * (1.0 / h2) * COUPLING
+        return diag, off
+
+    def line_scalar_coeffs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Eigen-diagonalised line coefficients for SP.
+
+        Returns ``(eigvals, eigvecs, inv_eigvecs)`` of the coupling
+        matrix; each eigencomponent sees the scalar operator
+        ``1 + c*lambda*(-D2)``.
+        """
+        w, v = np.linalg.eigh(COUPLING)
+        return w, v, v.T      # symmetric: inverse of eigvecs is transpose
+
+
+def block_thomas(diag: np.ndarray, off: np.ndarray,
+                 rhs: np.ndarray) -> np.ndarray:
+    """Solve constant-coefficient block-tridiagonal systems, batched.
+
+    ``rhs`` has shape (lines, n, NCOMP); the system along each line is
+    tridiagonal with ``diag`` on the diagonal and ``off`` on both
+    off-diagonals.  Classic forward-elimination/back-substitution with
+    5x5 block pivots (no pivoting needed: diag is SPD-dominant).
+    """
+    lines, n, m = rhs.shape
+    # Forward sweep: precompute the (constant per row index) pivots.
+    pivots = np.empty((n, m, m))
+    factors = np.empty((n, m, m))
+    pivots[0] = diag
+    for i in range(1, n):
+        factors[i] = off @ np.linalg.inv(pivots[i - 1])
+        pivots[i] = diag - factors[i] @ off
+    y = np.empty_like(rhs)
+    y[:, 0] = rhs[:, 0]
+    for i in range(1, n):
+        y[:, i] = rhs[:, i] - y[:, i - 1] @ factors[i].T
+    x = np.empty_like(rhs)
+    x[:, n - 1] = np.linalg.solve(
+        pivots[n - 1], y[:, n - 1].T
+    ).T
+    for i in range(n - 2, -1, -1):
+        x[:, i] = np.linalg.solve(
+            pivots[i], (y[:, i] - x[:, i + 1] @ off.T).T
+        ).T
+    return x
+
+
+def scalar_pentadiag_solve(main: np.ndarray, sub1: np.ndarray,
+                           sub2: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve symmetric constant-coefficient pentadiagonal systems.
+
+    Coefficients are per-row scalars (arrays of length n for the main,
+    first and second diagonals - symmetric); ``rhs`` is (lines, n).
+    Banded LU without pivoting, vectorised across lines.
+    """
+    lines, n = rhs.shape
+    # Work on copies of the banded structure per row.
+    d = np.tile(main.astype(float), 1).copy()
+    e = sub1.astype(float).copy()       # distance-1 band (length n-1)
+    f = sub2.astype(float).copy()       # distance-2 band (length n-2)
+    # LU factors (scalars per row) computed once - constant across lines.
+    alpha = np.empty(n)                 # pivot
+    beta = np.empty(n - 1)              # L distance-1 multiplier
+    gamma = np.empty(max(n - 2, 0))     # L distance-2 multiplier
+    u1 = np.empty(n - 1)                # U distance-1
+    u2 = np.empty(max(n - 2, 0))        # U distance-2
+    alpha[0] = d[0]
+    if n > 1:
+        u1[0] = e[0]
+        beta[0] = e[0] / alpha[0]
+    if n > 2:
+        u2[0] = f[0]
+        alpha[1] = d[1] - beta[0] * u1[0]
+        u1[1] = e[1] - beta[0] * u2[0]
+        beta[1] = u1[1] / alpha[1] if n > 2 else 0.0
+        gamma[0] = f[0] / alpha[0]
+        u2[1] = f[1]
+        for i in range(2, n):
+            gamma[i - 2] = f[i - 2] / alpha[i - 2]
+            beta[i - 1] = (e[i - 1] - gamma[i - 2] * u1[i - 2]) / alpha[i - 1]
+            alpha[i] = (
+                d[i] - gamma[i - 2] * u2[i - 2] - beta[i - 1] * u1[i - 1]
+            )
+            if i < n - 1:
+                u1[i] = e[i] - beta[i - 1] * u2[i - 1]
+            if i < n - 2:
+                u2[i] = f[i]
+    elif n == 2:
+        alpha[1] = d[1] - beta[0] * u1[0]
+
+    # Forward substitution L y = rhs (vectorised across lines).
+    y = rhs.astype(float).copy()
+    if n > 1:
+        y[:, 1] -= beta[0] * y[:, 0]
+    for i in range(2, n):
+        y[:, i] -= beta[i - 1] * y[:, i - 1] + gamma[i - 2] * y[:, i - 2]
+    # Back substitution U x = y.
+    x = np.empty_like(y)
+    x[:, n - 1] = y[:, n - 1] / alpha[n - 1]
+    if n > 1:
+        x[:, n - 2] = (y[:, n - 2] - u1[n - 2] * x[:, n - 1]) / alpha[n - 2]
+    for i in range(n - 3, -1, -1):
+        x[:, i] = (
+            y[:, i] - u1[i] * x[:, i + 1] - u2[i] * x[:, i + 2]
+        ) / alpha[i]
+    return x

@@ -1,0 +1,85 @@
+"""EP - the embarrassingly parallel benchmark.
+
+Generates pairs of uniforms from the NPB LCG, maps them to the square
+[-1, 1)^2, accepts pairs inside the unit disc, converts to Gaussian
+deviates by the Marsaglia polar method, and tallies the deviates into
+ten square annuli while summing the X and Y components.
+
+Verification: the acceptance fraction must match pi/4, the annulus
+counts must account for every accepted pair, and the deviate moments
+must match a Gaussian - the same statistical invariants the real
+benchmark's reference sums pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.npb.classes import ProblemClass, problem_class
+from repro.npb.common import KernelOutcome, NpbRandom, OpMix
+
+#: EP is almost pure floating point with negligible memory traffic.
+EP_MIX = OpMix(fp=0.85, mem=0.05, int_=0.10)
+
+
+def run_ep(problem: Optional[ProblemClass] = None,
+           letter: str = "S") -> KernelOutcome:
+    """Run EP; returns the outcome with tallies in ``details``."""
+    pc = problem if problem is not None else problem_class("EP", letter)
+    n_pairs = pc.size("pairs")
+
+    rng = NpbRandom()
+    uniforms = rng.batch(2 * n_pairs)
+    x = 2.0 * uniforms[0::2] - 1.0
+    y = 2.0 * uniforms[1::2] - 1.0
+    t = x * x + y * y
+    accept = (t <= 1.0) & (t > 0.0)
+    xa, ya, ta = x[accept], y[accept], t[accept]
+    factor = np.sqrt(-2.0 * np.log(ta) / ta)
+    gx = xa * factor
+    gy = ya * factor
+
+    # Tally into square annuli: l = floor(max(|gx|, |gy|)).
+    ring = np.floor(np.maximum(np.abs(gx), np.abs(gy))).astype(int)
+    counts = np.bincount(np.minimum(ring, 9), minlength=10)
+
+    sx = float(np.sum(gx))
+    sy = float(np.sum(gy))
+    accepted = int(np.count_nonzero(accept))
+
+    # --- verification ---------------------------------------------------
+    ok = True
+    # Acceptance fraction approximates pi/4 (LCG is high quality).
+    frac = accepted / n_pairs
+    tol = 6.0 / math.sqrt(n_pairs)
+    ok &= abs(frac - math.pi / 4.0) < tol
+    # Tallies conserve the accepted count.
+    ok &= int(counts.sum()) == accepted
+    # Gaussian moments: mean ~ 0, variance ~ 1.
+    if accepted > 1000:
+        ok &= abs(gx.mean()) < 6.0 / math.sqrt(accepted)
+        ok &= abs(gx.var() - 1.0) < 20.0 / math.sqrt(accepted)
+
+    # Operation count: per pair ~10 flops generation + ~25 for the
+    # accepted pairs' log/sqrt expansion (the NPB convention charges
+    # transcendental calls at their polynomial cost).
+    operations = 10.0 * n_pairs + 25.0 * accepted
+
+    return KernelOutcome(
+        name="EP",
+        problem_class=pc.letter,
+        operations=operations,
+        mix=EP_MIX,
+        verified=bool(ok),
+        checksum=sx + sy,
+        details={
+            "pairs": float(n_pairs),
+            "accepted": float(accepted),
+            "sx": sx,
+            "sy": sy,
+            **{f"count_{i}": float(c) for i, c in enumerate(counts)},
+        },
+    )

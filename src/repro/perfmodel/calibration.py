@@ -1,0 +1,71 @@
+"""Calibration constants and reference measurements.
+
+``REFERENCE_TABLE1`` records this library's measured Table 1 (the
+regression tests pin the simulators to it within a tolerance);
+``TREECODE_EFFICIENCY`` converts a CPU's Karp-microkernel rating into a
+sustained treecode rating.
+
+The single efficiency factor is fixed so the modelled MetaBlade matches
+the paper's measured 2.1 Gflops (87.5 Mflops/processor on 24 blades);
+the same factor then independently lands Avalon's Alphas at ~125
+Mflops/proc and Loki's Pentium Pros at ~43 - the paper's "about the
+same as the Avalon Alphas" and "about twice the Pentium Pro" Table 4
+relationships - which is the model's main cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cpus.base import Processor
+from repro.isa import programs
+
+#: Our measured Table 1 (Mflops): processor name -> (math, karp).
+#: Workload: gravity microkernel, n=64, passes=100 (deterministic).
+REFERENCE_TABLE1: Dict[str, Tuple[float, float]] = {
+    "Intel Pentium III": (89.0, 151.1),
+    "Compaq Alpha EV56": (79.6, 175.3),
+    "Transmeta TM5600": (102.8, 124.7),
+    "IBM Power3": (278.6, 391.8),
+    "AMD Athlon MP": (433.3, 569.6),
+}
+
+#: Canonical Table 1 workload parameters.
+TABLE1_WORKLOAD = dict(n=64, passes=100)
+
+#: Sustained treecode Mflops ~= TREECODE_EFFICIENCY x Karp Mflops.
+#: Tree walks, cache misses and bookkeeping keep real codes below the
+#: inner-kernel rate; 0.7014 pins MetaBlade at the paper's 87.5
+#: Mflops/processor.
+TREECODE_EFFICIENCY = 0.7014
+
+_RATE_CACHE: Dict[str, float] = {}
+
+
+def table1_mflops(cpu: Processor) -> Tuple[float, float]:
+    """(math, karp) Mflops of *cpu* on the canonical Table 1 workload."""
+    math_r = cpu.run_workload(
+        programs.gravity_microkernel_math(**TABLE1_WORKLOAD)
+    )
+    karp_r = cpu.run_workload(
+        programs.gravity_microkernel_karp(**TABLE1_WORKLOAD)
+    )
+    return math_r.mflops, karp_r.mflops
+
+
+def sustained_treecode_mflops(cpu: Processor) -> float:
+    """Modelled per-processor treecode rating (Table 4 currency)."""
+    rate = _RATE_CACHE.get(cpu.name)
+    if rate is None:
+        karp_r = cpu.run_workload(
+            programs.gravity_microkernel_karp(**TABLE1_WORKLOAD)
+        )
+        rate = TREECODE_EFFICIENCY * karp_r.mflops
+        _RATE_CACHE[cpu.name] = rate
+    return rate
+
+
+def metablade_node_rate() -> float:
+    """Sustained flops/s of one MetaBlade node (drives Table 2)."""
+    from repro.cpus.catalog import TM5600_633
+    return sustained_treecode_mflops(TM5600_633) * 1e6

@@ -1,0 +1,160 @@
+"""Rank-side communicator: point-to-point primitives and clocks."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from repro.simmpi.trace import CommStats
+
+#: Wildcard source for :meth:`RankComm.recv`.
+ANY_SOURCE: Optional[int] = None
+
+#: Sentinel yielded by blocked receives (internal protocol).
+_BLOCKED = object()
+
+
+class DeadlockError(RuntimeError):
+    """All ranks are blocked on receives that can never match."""
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size of a message payload.
+
+    NumPy arrays go as raw buffers; everything else is costed at its
+    pickle size plus a small header, mirroring mpi4py's two paths.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + 16
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj) + 16
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 24
+    if obj is None:
+        return 8
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)) + 16
+
+
+@dataclass
+class Message:
+    """An in-flight or delivered message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    post_time: float
+    arrive_time: float
+
+
+class RankComm:
+    """Per-rank communicator handle (the ``comm`` argument of programs)."""
+
+    def __init__(self, rank: int, size: int, runtime: "SimMpiRuntime") -> None:
+        self.rank = rank
+        self.size = size
+        self._runtime = runtime
+        self.clock = 0.0
+        self.stats = CommStats(rank=rank)
+        self._coll_seq = 0
+
+    # -- local compute ----------------------------------------------------
+
+    def compute(self, seconds: float) -> None:
+        """Advance this rank's clock by *seconds* of local work."""
+        if seconds < 0:
+            raise ValueError("compute time cannot be negative")
+        self.clock += seconds
+        self.stats.compute_s += seconds
+
+    def compute_flops(self, flops: float,
+                      flop_rate: Optional[float] = None) -> None:
+        """Charge *flops* of work at the node's sustained flop rate."""
+        rate = flop_rate if flop_rate is not None else self._runtime.flop_rate
+        if rate is None or rate <= 0:
+            raise ValueError(
+                "no flop_rate given and the runtime has no node rate"
+            )
+        self.compute(flops / rate)
+
+    # -- point to point ---------------------------------------------------
+
+    def send(self, dst: int, obj: Any, tag: int = 0) -> None:
+        """Eagerly post a message (buffered send; never blocks)."""
+        self._runtime.post(self, dst, obj, tag)
+
+    def recv(self, src: Optional[int] = ANY_SOURCE,
+             tag: Optional[int] = None) -> Iterator:
+        """Blocking receive; use as ``obj = yield from comm.recv(src)``."""
+        while True:
+            msg = self._runtime.match(self.rank, src, tag)
+            if msg is not None:
+                self.clock = max(self.clock, msg.arrive_time)
+                self.stats.recvs += 1
+                self.stats.bytes_received += msg.nbytes
+                return msg.payload
+            yield _BLOCKED
+
+    def sendrecv(self, dst: int, obj: Any, src: Optional[int] = ANY_SOURCE,
+                 tag: int = 0) -> Iterator:
+        """Send then receive (the classic shift pattern)."""
+        self.send(dst, obj, tag)
+        result = yield from self.recv(src, tag)
+        return result
+
+    # -- collectives (implemented in collectives.py) ----------------------
+
+    def _next_coll_tag(self, kind: int) -> int:
+        """Unique tag space per collective call site.
+
+        All ranks must invoke collectives in the same order (an MPI
+        requirement), so an identical per-rank counter keeps calls from
+        cross-matching.
+        """
+        self._coll_seq += 1
+        return -(self._coll_seq * 16 + kind)
+
+    def barrier(self) -> Iterator:
+        from repro.simmpi import collectives
+        result = yield from collectives.barrier(self)
+        return result
+
+    def bcast(self, obj: Any, root: int = 0) -> Iterator:
+        from repro.simmpi import collectives
+        result = yield from collectives.bcast(self, obj, root)
+        return result
+
+    def reduce(self, obj: Any, op=None, root: int = 0) -> Iterator:
+        from repro.simmpi import collectives
+        result = yield from collectives.reduce(self, obj, op, root)
+        return result
+
+    def allreduce(self, obj: Any, op=None) -> Iterator:
+        from repro.simmpi import collectives
+        result = yield from collectives.allreduce(self, obj, op)
+        return result
+
+    def gather(self, obj: Any, root: int = 0) -> Iterator:
+        from repro.simmpi import collectives
+        result = yield from collectives.gather(self, obj, root)
+        return result
+
+    def allgather(self, obj: Any) -> Iterator:
+        from repro.simmpi import collectives
+        result = yield from collectives.allgather(self, obj)
+        return result
+
+    def scatter(self, objs, root: int = 0) -> Iterator:
+        from repro.simmpi import collectives
+        result = yield from collectives.scatter(self, objs, root)
+        return result
+
+    def alltoall(self, objs) -> Iterator:
+        from repro.simmpi import collectives
+        result = yield from collectives.alltoall(self, objs)
+        return result
+

@@ -1,0 +1,152 @@
+"""The SimMPI scheduler: drives rank generators over a fabric model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.network.timing import Fabric, IdealFabric
+from repro.network.topology import StarTopology
+from repro.simmpi.comm import (
+    ANY_SOURCE,
+    DeadlockError,
+    Message,
+    RankComm,
+    payload_nbytes,
+)
+from repro.simmpi.trace import CommStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one SPMD run."""
+
+    elapsed_s: float                  # makespan: max rank clock
+    clocks: Tuple[float, ...]         # per-rank final clocks
+    results: Tuple[Any, ...]          # per-rank return values
+    stats: Tuple[CommStats, ...]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.sends for s in self.stats)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)
+
+    @property
+    def max_compute_s(self) -> float:
+        return max((s.compute_s for s in self.stats), default=0.0)
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of the makespan not covered by the busiest rank's compute."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return 1.0 - self.max_compute_s / self.elapsed_s
+
+
+class SimMpiRuntime:
+    """Cooperative SPMD scheduler with virtual time.
+
+    ``flop_rate`` (flops/s) lets rank programs charge work via
+    ``comm.compute_flops`` without knowing which node model they run on.
+    """
+
+    def __init__(self, size: int, fabric: Optional[Fabric] = None,
+                 flop_rate: Optional[float] = None) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.fabric: Fabric = fabric if fabric is not None else IdealFabric(size)
+        if getattr(self.fabric, "nodes", size) < size:
+            raise ValueError("fabric has fewer nodes than ranks")
+        self.flop_rate = flop_rate
+        self._mailboxes: Dict[int, List[Message]] = {}
+        self._consumed = 0
+        self._posted = 0
+
+    # -- message plumbing (called by RankComm) -----------------------------
+
+    def post(self, comm: RankComm, dst: int, obj: Any, tag: int) -> None:
+        if not 0 <= dst < self.size:
+            raise ValueError(f"destination {dst} outside 0..{self.size - 1}")
+        nbytes = payload_nbytes(obj)
+        transfer = self.fabric.send(comm.rank, dst, nbytes, comm.clock)
+        # Sender-side cost: the host is busy until the NIC accepts it.
+        overhead = self._send_overhead()
+        comm.clock += overhead
+        comm.stats.sends += 1
+        comm.stats.bytes_sent += nbytes
+        msg = Message(
+            src=comm.rank,
+            dst=dst,
+            tag=tag,
+            payload=obj,
+            nbytes=nbytes,
+            post_time=transfer.post_time,
+            arrive_time=transfer.arrive_time,
+        )
+        self._mailboxes.setdefault(dst, []).append(msg)
+        self._posted += 1
+
+    def match(self, dst: int, src: Optional[int],
+              tag: Optional[int]) -> Optional[Message]:
+        box = self._mailboxes.get(dst)
+        if not box:
+            return None
+        for i, msg in enumerate(box):
+            if src is not ANY_SOURCE and msg.src != src:
+                continue
+            if tag is not None and msg.tag != tag:
+                continue
+            del box[i]
+            self._consumed += 1
+            return msg
+        return None
+
+    def _send_overhead(self) -> float:
+        nic = getattr(self.fabric, "nic", None)
+        return nic.send_overhead_s if nic is not None else 0.0
+
+    # -- the scheduler ------------------------------------------------------
+
+    def run(self, fn: Callable, *args: Any, **kwargs: Any) -> RunResult:
+        """Run generator function *fn(comm, \\*args)* on every rank."""
+        comms = [RankComm(r, self.size, self) for r in range(self.size)]
+        gens: List[Any] = []
+        results: List[Any] = [None] * self.size
+        for comm in comms:
+            gen = fn(comm, *args, **kwargs)
+            if not hasattr(gen, "send"):
+                raise TypeError(
+                    "rank programs must be generator functions "
+                    "(use 'yield from comm.recv(...)' etc.)"
+                )
+            gens.append(gen)
+
+        alive = set(range(self.size))
+        while alive:
+            before = (self._consumed, self._posted, len(alive))
+            for rank in sorted(alive):
+                gen = gens[rank]
+                try:
+                    # Drive until the rank blocks (yields) or finishes.
+                    next(gen)
+                except StopIteration as stop:
+                    results[rank] = stop.value
+                    alive.discard(rank)
+            after = (self._consumed, self._posted, len(alive))
+            if alive and before == after:
+                blocked = ", ".join(str(r) for r in sorted(alive))
+                raise DeadlockError(
+                    f"no progress possible; ranks blocked: {blocked}"
+                )
+
+        clocks = tuple(c.clock for c in comms)
+        return RunResult(
+            elapsed_s=max(clocks) if clocks else 0.0,
+            clocks=clocks,
+            results=tuple(results),
+            stats=tuple(c.stats for c in comms),
+        )

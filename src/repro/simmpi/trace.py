@@ -1,0 +1,32 @@
+"""Communication statistics collected per rank during a SimMPI run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CommStats:
+    """Counters for one rank."""
+
+    rank: int
+    sends: int = 0
+    recvs: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    compute_s: float = 0.0
+
+    @property
+    def messages(self) -> int:
+        return self.sends + self.recvs
+
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Aggregate counters (rank field keeps self's)."""
+        return CommStats(
+            rank=self.rank,
+            sends=self.sends + other.sends,
+            recvs=self.recvs + other.recvs,
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            bytes_received=self.bytes_received + other.bytes_received,
+            compute_s=self.compute_s + other.compute_s,
+        )

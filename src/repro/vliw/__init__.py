@@ -1,0 +1,34 @@
+"""Transmeta Crusoe-style VLIW execution engine.
+
+Models the native side of the TM5600 described in paper Section 2.1:
+
+- a simple in-order VLIW core with two integer units (7-stage pipes),
+  one floating-point unit (10-stage pipe), one load/store unit and one
+  branch unit;
+- instruction words called *molecules* - 64-bit (2 atoms) or 128-bit
+  (up to 4 atoms) - whose format directly routes atoms to functional
+  units, so there is no out-of-order hardware at all;
+- *atoms*: the RISC-like native operations packed into molecules.
+
+The Code Morphing Software (:mod:`repro.cms`) produces molecule
+sequences from guest code; this package schedules and times them.
+"""
+
+from repro.vliw.atoms import Atom
+from repro.vliw.units import UnitKind, TM5600_LATENCIES, LatencyTable
+from repro.vliw.molecules import Molecule, MoleculeFormatError, SlotLimits
+from repro.vliw.scheduler import schedule_block
+from repro.vliw.engine import VliwEngine, TranslatedBlock
+
+__all__ = [
+    "Atom",
+    "LatencyTable",
+    "Molecule",
+    "MoleculeFormatError",
+    "SlotLimits",
+    "TM5600_LATENCIES",
+    "TranslatedBlock",
+    "UnitKind",
+    "VliwEngine",
+    "schedule_block",
+]

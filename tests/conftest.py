@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import programs
+
+
+@pytest.fixture(scope="session")
+def micro_math():
+    """A small math-sqrt microkernel workload (fast to simulate)."""
+    return programs.gravity_microkernel_math(n=16, passes=4)
+
+
+@pytest.fixture(scope="session")
+def micro_karp():
+    """A small Karp microkernel workload."""
+    return programs.gravity_microkernel_karp(n=16, passes=4)
+
+
+@pytest.fixture(scope="session")
+def all_small_workloads(micro_math, micro_karp):
+    """Every guest workload at small sizes, for engine-equivalence tests."""
+    return [
+        micro_math,
+        micro_karp,
+        programs.axpy(n=32),
+        programs.dot_product(n=32),
+        programs.fib(n=25),
+        programs.stream_triad(n=32),
+        programs.int_checksum(n=200),
+    ]

@@ -1,0 +1,51 @@
+"""The command-line interface produces the paper's tables."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in (
+        "summary", "table1", "table2", "table3", "table4", "table5",
+        "table6", "table7", "fig3", "topper", "green500", "all",
+    ):
+        args = parser.parse_args([command])
+        assert args.command == command
+
+
+def test_cli_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cli_table5(capsys):
+    assert main(["table5"]) == 0
+    out = capsys.readouterr().out
+    assert "MetaBlade" in out
+    assert "$35K" in out
+
+
+def test_cli_summary(capsys):
+    assert main(["summary"]) == 0
+    out = capsys.readouterr().out
+    assert "633-MHz" in out
+
+
+def test_cli_green500(capsys):
+    assert main(["green500"]) == 0
+    out = capsys.readouterr().out
+    assert "Green500-style" in out
+    assert "Top500-style" in out
+
+
+def test_cli_table2_with_options(capsys):
+    assert main(["table2", "--particles", "600", "--cpus", "1", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Speed-Up" in out
+
+
+def test_cli_topper(capsys):
+    assert main(["topper"]) == 0
+    assert "ToPPeR" in capsys.readouterr().out

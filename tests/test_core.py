@@ -1,0 +1,120 @@
+"""Façade and experiment regenerators: the paper's headline numbers."""
+
+import pytest
+
+from repro.cluster import GREEN_DESTINY, METABLADE, METABLADE2
+from repro.core import (
+    BladedBeowulf,
+    experiment_fig3,
+    experiment_table1,
+    experiment_table2,
+    experiment_table4,
+    experiment_table5,
+    experiment_table6,
+    experiment_table7,
+    experiment_topper,
+    peak_gflops,
+)
+from repro.core.experiments import HISTORICAL_TREECODE, modelled_treecode_rows
+from repro.nbody.sim import SimConfig
+
+
+@pytest.fixture(scope="module")
+def metablade():
+    return BladedBeowulf.metablade()
+
+
+def test_peak_gflops_matches_paper(metablade):
+    # 24 x 633 MHz x 1 flop/cycle = 15.2 Gflops (paper Section 3.3).
+    assert metablade.peak_gflops() == pytest.approx(15.192, abs=0.01)
+    assert peak_gflops(GREEN_DESTINY) == pytest.approx(240 * 0.8, rel=0.01)
+
+
+@pytest.mark.slow
+def test_sustained_and_percent_of_peak(metablade):
+    # Paper: 2.1 Gflops sustained = 14% of peak.
+    assert metablade.sustained_gflops() == pytest.approx(2.1, abs=0.05)
+    assert metablade.percent_of_peak() == pytest.approx(14.0, abs=1.0)
+
+
+@pytest.mark.slow
+def test_summary_contains_headlines(metablade):
+    text = metablade.summary()
+    assert "MetaBlade" in text
+    assert "Gflops" in text
+    assert "TCO" in text
+
+
+def test_tco_and_topper_accessors(metablade):
+    assert metablade.tco().total == pytest.approx(35_292, abs=500)
+    assert metablade.is_bladed
+
+
+@pytest.mark.slow
+def test_experiment_table1_structure():
+    result = experiment_table1()
+    assert len(result.rows) == 5
+    for row in result.rows:
+        _, math_mflops, karp_mflops = row
+        assert karp_mflops > math_mflops
+    assert "Table 1" in result.text
+
+
+@pytest.mark.slow
+def test_experiment_table2_speedup_shape():
+    result = experiment_table2(n=1500, steps=1, cpu_counts=(1, 4, 12))
+    cpus = [row[0] for row in result.rows]
+    speedups = [row[2] for row in result.rows]
+    assert cpus == [1, 4, 12]
+    assert speedups[0] == pytest.approx(1.0)
+    # Real speedup, sublinear at scale (communication overhead).
+    assert 1.5 < speedups[1] <= 4.0
+    assert speedups[1] < speedups[2] < 12.0
+
+
+def test_experiment_table4_ordering():
+    result = experiment_table4()
+    perproc = [row[3] for row in result.rows]
+    assert perproc == sorted(perproc, reverse=True)
+    machines = [row[0] for row in result.rows]
+    # Paper: MetaBlade2 'only places behind the SGI Origin 2000'.
+    assert machines[0] == "LANL SGI Origin 2000"
+    assert machines[1] == "SC'01 MetaBlade2"
+    # Every historical + modelled machine appears exactly once.
+    assert len(machines) == len(HISTORICAL_TREECODE) + len(
+        modelled_treecode_rows()
+    )
+
+
+def test_experiment_table5_cells():
+    result = experiment_table5()
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["MetaBlade"][-1] == "$35K"
+    assert by_name["Alpha Beowulf"][-1] in ("$107K", "$108K")
+    assert by_name["MetaBlade"][2] == "$5K"      # sysadmin
+
+
+def test_experiment_tables_6_and_7():
+    t6 = experiment_table6()
+    t7 = experiment_table7()
+    mb6 = next(r for r in t6.rows if r[0] == "MetaBlade")
+    assert mb6[3] == pytest.approx(350.0)
+    mb7 = next(r for r in t7.rows if r[0] == "MetaBlade")
+    assert mb7[3] == pytest.approx(4.04, abs=0.05)
+
+
+def test_experiment_topper_claim():
+    result = experiment_topper()
+    assert result.extras["topper_ratio"] > 2.0
+    assert "ToPPeR" in result.text
+
+
+@pytest.mark.slow
+def test_experiment_fig3_accounting():
+    exp, sim_result, art = experiment_fig3(
+        SimConfig(n=800, steps=1, ic="collision", softening=1e-2)
+    )
+    assert exp.extras["peak_gflops"] == pytest.approx(15.192, abs=0.01)
+    assert 12.0 < exp.extras["percent_of_peak"] < 16.0
+    assert sim_result.total_flops > 0
+    assert len(art.splitlines()) == 48

@@ -1,0 +1,88 @@
+"""Property-based architectural equivalence across execution engines.
+
+The library's core invariant: the golden interpreter, the CMS+VLIW
+pipeline (at any threshold / cache size / molecule width) and every
+hardware port simulator must produce bit-identical architectural state
+on arbitrary guest programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cms import CmsConfig, CodeMorphingSoftware
+from repro.cpus.catalog import (
+    ALPHA_EV56_533,
+    ATHLON_MP_1200,
+    PENTIUM_III_500,
+    POWER3_375,
+)
+from repro.cpus.portsim import PortSimulator
+from repro.isa.machine import run_program
+from repro.isa.randprog import random_program, random_state
+from repro.vliw.molecules import NARROW_FORMAT
+
+
+def _golden(seed):
+    program = random_program(seed)
+    state, _ = run_program(program, random_state(seed), max_steps=10**6)
+    return program, state
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_cms_equals_golden_on_random_programs(seed):
+    program, golden = _golden(seed)
+    cms = CodeMorphingSoftware(CmsConfig(hot_threshold=2))
+    result = cms.run(program, random_state(seed), max_steps=10**6)
+    assert result.state.architectural_view() == golden.architectural_view()
+
+
+@given(seed=st.integers(0, 10_000), threshold=st.sampled_from([1, 3, 7, 50]))
+@settings(max_examples=25, deadline=None)
+def test_cms_threshold_invariance(seed, threshold):
+    program, golden = _golden(seed)
+    cms = CodeMorphingSoftware(CmsConfig(hot_threshold=threshold))
+    result = cms.run(program, random_state(seed), max_steps=10**6)
+    assert result.state.architectural_view() == golden.architectural_view()
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_narrow_molecules_equal_golden(seed):
+    program, golden = _golden(seed)
+    cms = CodeMorphingSoftware(
+        CmsConfig(hot_threshold=1, limits=NARROW_FORMAT)
+    )
+    result = cms.run(program, random_state(seed), max_steps=10**6)
+    assert result.state.architectural_view() == golden.architectural_view()
+
+
+@pytest.mark.parametrize(
+    "cpu",
+    [PENTIUM_III_500, ALPHA_EV56_533, POWER3_375, ATHLON_MP_1200],
+    ids=lambda c: c.name,
+)
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=15, deadline=None)
+def test_hardware_models_equal_golden(cpu, seed):
+    program, golden = _golden(seed)
+    sim = PortSimulator(
+        cpu.table,
+        issue_width=cpu.spec.issue_width,
+        window=cpu.window,
+        has_fma=cpu.has_fma,
+    )
+    outcome = sim.simulate(program, random_state(seed), max_steps=10**6)
+    assert outcome.state.architectural_view() == golden.architectural_view()
+    assert outcome.cycles > 0
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_tiny_tcache_equals_golden(seed):
+    program, golden = _golden(seed)
+    cms = CodeMorphingSoftware(
+        CmsConfig(hot_threshold=1, tcache_bytes=48)
+    )
+    result = cms.run(program, random_state(seed), max_steps=10**6)
+    assert result.state.architectural_view() == golden.architectural_view()

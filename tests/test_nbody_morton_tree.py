@@ -1,0 +1,161 @@
+"""Morton keys and the hashed octree: structure and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nbody.ic import plummer_sphere, uniform_cube
+from repro.nbody.morton import (
+    MAX_DEPTH,
+    ROOT_KEY,
+    ancestor_at_level,
+    cell_geometry,
+    child_key,
+    key_level,
+    morton_decode,
+    morton_encode,
+    parent_key,
+    particle_keys,
+    quantize,
+)
+from repro.nbody.tree import HashedOctree
+
+
+coord = st.integers(0, (1 << 21) - 1)
+
+
+@given(ix=coord, iy=coord, iz=coord)
+@settings(max_examples=100, deadline=None)
+def test_morton_roundtrip(ix, iy, iz):
+    code = morton_encode(np.array([ix]), np.array([iy]), np.array([iz]))
+    dx, dy, dz = morton_decode(code)
+    assert (int(dx[0]), int(dy[0]), int(dz[0])) == (ix, iy, iz)
+
+
+def test_morton_locality():
+    """Adjacent cells within an octant share a long key prefix."""
+    a = int(morton_encode(np.array([4]), np.array([4]), np.array([4]))[0])
+    b = int(morton_encode(np.array([5]), np.array([5]), np.array([5]))[0])
+    c = int(morton_encode(np.array([4]), np.array([4]), np.array([5]))[0])
+    # (4,4,4)->(4,4,5) flips one bit; (4,4,4)->(5,5,5) flips three.
+    assert (a ^ c).bit_count() < (a ^ b).bit_count()
+
+
+def test_key_hierarchy():
+    key = child_key(child_key(ROOT_KEY, 3), 5)
+    assert key_level(key) == 2
+    assert parent_key(key) == child_key(ROOT_KEY, 3)
+    assert ancestor_at_level(key, 0) == ROOT_KEY
+    assert ancestor_at_level(key, 2) == key
+    with pytest.raises(ValueError):
+        parent_key(ROOT_KEY)
+    with pytest.raises(ValueError):
+        child_key(ROOT_KEY, 8)
+    with pytest.raises(ValueError):
+        ancestor_at_level(ROOT_KEY, 5)
+
+
+def test_quantize_bounds():
+    lo = np.zeros(3)
+    hi = np.ones(3)
+    pos = np.array([[0.0, 0.5, 0.999999], [1.0 - 1e-12, 0.0, 0.5]])
+    grid = quantize(pos, lo, hi, depth=4)
+    assert grid.min() >= 0
+    assert grid.max() < 16
+    with pytest.raises(ValueError):
+        quantize(pos, lo, hi, depth=0)
+
+
+def test_particle_keys_have_sentinel():
+    pos = np.array([[0.1, 0.2, 0.3]])
+    keys = particle_keys(pos, np.zeros(3), np.ones(3), depth=MAX_DEPTH)
+    assert key_level(int(keys[0])) == MAX_DEPTH
+
+
+def test_cell_geometry_root_covers_box():
+    lo, hi = np.zeros(3), np.ones(3)
+    centre, size = cell_geometry(ROOT_KEY, lo, hi)
+    assert np.allclose(centre, [0.5, 0.5, 0.5])
+    assert size == pytest.approx(1.0)
+
+
+def test_cell_geometry_children_nest():
+    lo, hi = np.zeros(3), np.ones(3)
+    for octant in range(8):
+        centre, size = cell_geometry(child_key(ROOT_KEY, octant), lo, hi)
+        assert size == pytest.approx(0.5)
+        assert np.all(centre > lo) and np.all(centre < hi)
+
+
+# --- tree construction -------------------------------------------------------
+
+
+@pytest.mark.parametrize("n,leaf_size", [(1, 4), (17, 1), (300, 8), (1000, 32)])
+def test_tree_invariants(n, leaf_size):
+    pos, _, mass = plummer_sphere(n, seed=n)
+    tree = HashedOctree(pos, mass, leaf_size=leaf_size)
+    tree.validate()
+    assert tree.n_particles == n
+    leaves = list(tree.leaves())
+    # Leaves tile [0, n) in curve order.
+    assert leaves[0].lo == 0
+    assert leaves[-1].hi == n
+    for a, b in zip(leaves, leaves[1:]):
+        assert a.hi == b.lo
+
+
+@given(seed=st.integers(0, 1000), n=st.integers(2, 120))
+@settings(max_examples=30, deadline=None)
+def test_tree_invariants_property(seed, n):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(-1, 1, size=(n, 3))
+    mass = rng.uniform(0.1, 2.0, size=n)
+    tree = HashedOctree(pos, mass, leaf_size=4)
+    tree.validate()
+    # Centre of mass of the root equals the global one.
+    com = (mass[:, None] * pos).sum(axis=0) / mass.sum()
+    assert np.allclose(tree.root.com, com, rtol=1e-9, atol=1e-12)
+
+
+def test_duplicate_positions_handled():
+    pos = np.zeros((50, 3))
+    mass = np.ones(50)
+    tree = HashedOctree(pos, mass, leaf_size=4)
+    tree.validate()
+    # Identical keys cannot split: a single max-depth leaf holds all.
+    big = max(leaf.count for leaf in tree.leaves())
+    assert big == 50
+
+
+def test_lookup_is_hash_based():
+    pos, _, mass = plummer_sphere(200, seed=1)
+    tree = HashedOctree(pos, mass, leaf_size=8)
+    assert tree.lookup(ROOT_KEY) is tree.root
+    assert tree.contains_key(ROOT_KEY)
+    assert not tree.contains_key(child_key(ROOT_KEY, 0) << 60)
+
+
+def test_enclosing_leaf():
+    pos, _, mass = plummer_sphere(150, seed=2)
+    tree = HashedOctree(pos, mass, leaf_size=8)
+    for idx in (0, 17, 149):
+        leaf = tree.enclosing_leaf(idx)
+        assert leaf.is_leaf
+        assert leaf.lo <= idx < leaf.hi
+
+
+def test_unsort_roundtrip():
+    pos, _, mass = plummer_sphere(64, seed=3)
+    tree = HashedOctree(pos, mass)
+    values_sorted = np.arange(64.0)
+    original = tree.unsort(values_sorted)
+    assert np.array_equal(original[tree.order], values_sorted)
+
+
+def test_tree_input_validation():
+    with pytest.raises(ValueError):
+        HashedOctree(np.zeros((0, 3)), np.zeros(0))
+    with pytest.raises(ValueError):
+        HashedOctree(np.zeros((5, 3)), np.zeros(5), leaf_size=0)
+    with pytest.raises(ValueError):
+        HashedOctree(np.zeros((5, 2)), np.zeros(5))

@@ -1,0 +1,67 @@
+"""Parallel treecode over SimMPI: determinism, scaling, decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.nbody.parallel import (
+    run_parallel_nbody,
+    scaling_study,
+)
+from repro.nbody.sim import SimConfig
+
+RATE = 87.5e6
+CFG = SimConfig(n=1200, steps=2, dt=1e-3, theta=0.7, softening=1e-2)
+
+
+def _positions(run_result):
+    return np.vstack([r[0] for r in run_result.results])
+
+
+@pytest.mark.slow
+def test_trajectories_identical_for_any_rank_count():
+    base = _positions(run_parallel_nbody(CFG, 1, RATE))
+    for cpus in (2, 3, 8):
+        other = _positions(run_parallel_nbody(CFG, cpus, RATE))
+        assert np.array_equal(base, other), cpus
+
+
+@pytest.mark.slow
+def test_parallel_matches_bit_for_bit_with_count_balance():
+    work = _positions(run_parallel_nbody(CFG, 4, RATE, balance="work"))
+    count = _positions(run_parallel_nbody(CFG, 4, RATE, balance="count"))
+    assert np.array_equal(work, count)
+
+
+def test_invalid_balance_rejected():
+    with pytest.raises(ValueError):
+        run_parallel_nbody(CFG, 2, RATE, balance="vibes")
+
+
+@pytest.mark.slow
+def test_more_cpus_is_faster_but_not_ideal():
+    cfg = SimConfig(n=2500, steps=1, theta=0.7, softening=1e-2)
+    points = scaling_study(cfg, (1, 4, 16), RATE)
+    assert points[0].speedup == pytest.approx(1.0)
+    # Monotone speedup...
+    assert points[1].speedup > 1.5
+    assert points[2].speedup > points[1].speedup
+    # ...but sublinear: the Fast Ethernet star costs something.
+    assert points[2].efficiency < 1.0
+    assert points[2].comm_fraction > 0.0
+
+
+@pytest.mark.slow
+def test_ideal_network_scales_better():
+    cfg = SimConfig(n=2500, steps=1, theta=0.7, softening=1e-2)
+    real = scaling_study(cfg, (1, 16), RATE)[-1]
+    ideal = scaling_study(cfg, (1, 16), RATE, ideal_network=True)[-1]
+    assert ideal.speedup > real.speedup
+    assert ideal.comm_fraction < real.comm_fraction
+
+
+@pytest.mark.slow
+def test_work_balance_beats_count_balance_at_scale():
+    cfg = SimConfig(n=2500, steps=2, theta=0.7, softening=1e-2)
+    work = scaling_study(cfg, (1, 12), RATE, balance="work")[-1]
+    count = scaling_study(cfg, (1, 12), RATE, balance="count")[-1]
+    assert work.time_s <= count.time_s * 1.02

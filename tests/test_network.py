@@ -1,0 +1,139 @@
+"""Fabric models: links, calendars, switch, star topology."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.link import Calendar, FAST_ETHERNET, Link, LinkSchedule
+from repro.network.nic import FAST_ETHERNET_NIC, Nic
+from repro.network.switch import (
+    BackplaneSchedule,
+    FAST_ETHERNET_SWITCH_24,
+    Switch,
+)
+from repro.network.timing import IdealFabric, star_fabric
+from repro.network.topology import StarTopology
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link(name="x", bandwidth_bps=0, latency_s=1e-6)
+    with pytest.raises(ValueError):
+        Link(name="x", bandwidth_bps=1e8, latency_s=-1)
+
+
+def test_fast_ethernet_serialisation():
+    # 100 Mb/s: 1500 bytes take 120 microseconds on the wire.
+    assert FAST_ETHERNET.serialization_s(1500) == pytest.approx(120e-6)
+
+
+def test_calendar_sequential_bookings_serialise():
+    cal = Calendar()
+    t0 = cal.book(0.0, 1.0)
+    t1 = cal.book(0.0, 1.0)
+    assert t0 == 0.0
+    assert t1 == 1.0
+    assert cal.busy_s == 2.0
+
+
+def test_calendar_backfills_out_of_order_bookings():
+    cal = Calendar()
+    late = cal.book(10.0, 1.0)
+    early = cal.book(0.0, 1.0)
+    assert late == 10.0
+    assert early == 0.0         # the earlier gap is still available
+
+
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100),
+            st.floats(min_value=0.01, max_value=5),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_calendar_bookings_never_overlap(requests):
+    cal = Calendar()
+    intervals = []
+    for ready, dur in requests:
+        start = cal.book(ready, dur)
+        assert start >= ready
+        intervals.append((start, start + dur))
+    intervals.sort()
+    for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+        assert b0 >= a1 - 1e-12
+
+
+def test_link_schedule_contention():
+    sched = LinkSchedule(FAST_ETHERNET)
+    d1, a1 = sched.occupy(0.0, 125_000)   # 10 ms serialisation
+    d2, a2 = sched.occupy(0.0, 125_000)
+    assert d2 >= d1 + 0.01 - 1e-9
+    assert a2 > a1
+    assert sched.transfers == 2
+
+
+def test_switch_nonblocking_check():
+    assert FAST_ETHERNET_SWITCH_24.nonblocking
+    starved = Switch(
+        name="oversubscribed", ports=24,
+        port_link=FAST_ETHERNET, backplane_bps=1e8,
+    )
+    assert not starved.nonblocking
+
+
+def test_star_topology_routing_and_times():
+    star = StarTopology(nodes=4)
+    t = star.send(0, 1, nbytes=10_000, post_time=0.0)
+    expected_min = (
+        FAST_ETHERNET_NIC.send_overhead_s
+        + FAST_ETHERNET.transfer_s(10_000)
+        + FAST_ETHERNET_NIC.recv_overhead_s
+    )
+    assert t.arrive_time >= expected_min
+    assert t.depart_time >= t.post_time
+    assert star.total_bytes() == 10_000
+
+
+def test_star_loopback_skips_the_wire():
+    star = StarTopology(nodes=2)
+    t = star.send(1, 1, nbytes=1_000_000, post_time=0.0)
+    wire = FAST_ETHERNET.serialization_s(1_000_000)
+    assert t.arrive_time < wire     # no serialisation charged
+
+
+def test_star_rejects_bad_nodes():
+    star = StarTopology(nodes=2)
+    with pytest.raises(ValueError):
+        star.send(0, 5, 10, 0.0)
+    with pytest.raises(ValueError):
+        StarTopology(nodes=100)     # exceeds the 24-port switch
+
+
+def test_uplink_contention_with_two_messages():
+    star = StarTopology(nodes=3)
+    a = star.send(0, 1, nbytes=125_000, post_time=0.0)
+    b = star.send(0, 2, nbytes=125_000, post_time=0.0)
+    # Same uplink: second message departs after the first serialises.
+    assert b.depart_time >= a.depart_time + 0.01 - 1e-9
+
+
+def test_reset_clears_state():
+    star = StarTopology(nodes=2)
+    star.send(0, 1, 1000, 0.0)
+    star.reset()
+    assert star.total_bytes() == 0
+    assert star.uplink_busy_s(0) == 0.0
+
+
+def test_ideal_fabric_is_free():
+    fabric = IdealFabric(nodes=8)
+    t = fabric.send(0, 7, nbytes=10**9, post_time=5.0)
+    assert t.arrive_time == 5.0
+
+
+def test_star_fabric_helper():
+    fabric = star_fabric(24)
+    assert fabric.nodes == 24

@@ -1,0 +1,104 @@
+"""Performance projection: characterisation, Table 3, treecode rates."""
+
+import pytest
+
+from repro.cpus.catalog import (
+    ALPHA_EV56_533,
+    ATHLON_MP_1200,
+    PENTIUM_III_500,
+    PENTIUM_PRO_200,
+    POWER3_375,
+    TABLE3_CPUS,
+    TM5600_633,
+    TM5800_800,
+)
+from repro.npb import run_suite
+from repro.npb.common import OpMix
+from repro.perfmodel import (
+    TREECODE_EFFICIENCY,
+    characterize,
+    metablade_node_rate,
+    project_mops,
+    project_runtime_s,
+    sustained_treecode_mflops,
+    table3_mops,
+)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_suite("T")
+
+
+def test_characterization_is_cached_and_positive():
+    first = characterize(TM5600_633)
+    second = characterize(TM5600_633)
+    assert first is second
+    assert first.cpi_fp > 0
+    assert first.cpi_mem > 0
+    assert first.cpi_int > 0
+
+
+def test_mix_blending_monotone():
+    c = characterize(PENTIUM_III_500)
+    fp_heavy = OpMix(fp=0.9, mem=0.05, int_=0.05)
+    mem_heavy = OpMix(fp=0.05, mem=0.9, int_=0.05)
+    if c.cpi_mem > c.cpi_fp:
+        assert c.ops_per_second(mem_heavy) < c.ops_per_second(fp_heavy)
+
+
+def test_dram_cap_binds_on_streaming():
+    """The DRAM bound must dominate the flat-memory simulator rate."""
+    c = characterize(ATHLON_MP_1200)
+    spec = ATHLON_MP_1200.spec
+    dram_cpi = spec.clock_hz * 8.0 / (spec.memory_gbs * 1e9)
+    assert c.cpi_mem >= dram_cpi - 1e-12
+
+
+def test_projection_scales_with_runtime(outcomes):
+    ep = next(o for o in outcomes if o.name == "EP")
+    mops = project_mops(TM5600_633, ep)
+    runtime = project_runtime_s(TM5600_633, ep)
+    assert runtime == pytest.approx(ep.operations / (mops * 1e6))
+
+
+def test_table3_shape(outcomes):
+    rows = table3_mops(TABLE3_CPUS, outcomes)
+    assert [name for name, _ in rows] == [o.name for o in outcomes]
+    for _, mops in rows:
+        assert all(v > 0 for v in mops.values())
+
+
+@pytest.mark.slow
+def test_table3_paper_constraints(outcomes):
+    """Paper: 'the 633-MHz TM5600 performs as well as the 500-MHz
+    Pentium III and about one-third as well as the Athlon and Power3'."""
+    rows = table3_mops(TABLE3_CPUS, outcomes)
+    cfd = [m for name, m in rows if name in ("BT", "SP", "LU", "MG")]
+    for mops in cfd:
+        tm = mops["Transmeta TM5600"]
+        assert 0.6 < tm / mops["Intel Pentium III"] < 1.1
+        assert 2.0 < mops["AMD Athlon MP"] / tm < 4.0
+        assert 1.8 < mops["IBM Power3"] / tm < 4.0
+
+
+@pytest.mark.slow
+def test_treecode_rates_reproduce_table4_relations():
+    # MetaBlade is pinned at the paper's 87.5 Mflops/processor.
+    tm = sustained_treecode_mflops(TM5600_633)
+    assert tm == pytest.approx(87.5, abs=1.0)
+    # 'about twice that of the Pentium Pro 200 used in Loki'.
+    ppro = sustained_treecode_mflops(PENTIUM_PRO_200)
+    assert 1.5 < tm / ppro < 2.5
+    # 'about the same as the 533-MHz Alphas used in Avalon'.
+    alpha = sustained_treecode_mflops(ALPHA_EV56_533)
+    assert 0.5 < tm / alpha < 1.1
+    # MetaBlade2 lands at the paper's 3.3 Gflops on 24 blades.
+    tm2 = sustained_treecode_mflops(TM5800_800)
+    assert 24 * tm2 / 1000 == pytest.approx(3.3, abs=0.15)
+
+
+@pytest.mark.slow
+def test_metablade_node_rate():
+    assert metablade_node_rate() == pytest.approx(87.5e6, rel=0.02)
+    assert TREECODE_EFFICIENCY < 1.0
