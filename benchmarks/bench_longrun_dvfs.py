@@ -9,7 +9,12 @@ energy-efficiency successors were built on.
 
 import pytest
 
-from repro.cpus.longrun import TM5600_LONGRUN, TM5800_LONGRUN, energy_study
+from repro.cpus.longrun import (
+    TM5600_LONGRUN,
+    TM5800_LONGRUN,
+    dvfs_trajectory_study,
+    energy_study,
+)
 from repro.isa import programs
 from repro.metrics.report import format_table
 
@@ -33,6 +38,29 @@ def _study():
     return rows
 
 
+def _trajectory_rows():
+    """Mid-run transitions: the governor steps the ladder on the live
+    SimMPI clock, so flop rates change while ranks are computing."""
+    stepped, flat = dvfs_trajectory_study()
+    rows = [
+        [
+            "flat (633 MHz)",
+            round(flat.elapsed_s, 3),
+            round(flat.energy_j, 2),
+            round(flat.avg_power_watts, 2),
+            len(flat.transitions),
+        ],
+        [
+            "stepped ladder",
+            round(stepped.elapsed_s, 3),
+            round(stepped.energy_j, 2),
+            round(stepped.avg_power_watts, 2),
+            len(stepped.transitions),
+        ],
+    ]
+    return stepped, flat, rows
+
+
 def test_longrun_dvfs(benchmark, archive):
     rows = benchmark.pedantic(_study, rounds=1, iterations=1)
     text = format_table(
@@ -40,7 +68,19 @@ def test_longrun_dvfs(benchmark, archive):
         rows,
         title="LongRun DVFS: energy-to-solution across the ladder",
     )
-    archive("longrun_dvfs", text)
+    stepped, flat, traj_rows = _trajectory_rows()
+    traj_text = format_table(
+        ["Trajectory", "Time (s)", "Energy (J)", "Avg power (W)",
+         "Transitions"],
+        traj_rows,
+        title="Mid-run DVFS: governor stepping the live SimMPI clock",
+    )
+    archive("longrun_dvfs", text + "\n\n" + traj_text)
+    # Stepping down the ladder mid-run trades time for energy.
+    assert stepped.elapsed_s > flat.elapsed_s
+    assert stepped.energy_j < flat.energy_j
+    assert len(stepped.transitions) > 0
+    assert len(flat.transitions) == 0
     for part in ("TM5600", "TM5800"):
         part_rows = [r for r in rows if r[0] == part]
         energies = [r[5] for r in part_rows]

@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli fig3 --particles 4000
     python -m repro.cli topper
     python -m repro.cli green500             # Top500 vs Green500 ranking
+    python -m repro.cli timeline --ranks 6   # the unified event timeline
+    python -m repro.cli timeline --fail-rank 2 --fail-at 0.05
     python -m repro.cli all                  # everything (minutes)
 """
 
@@ -27,6 +29,7 @@ from repro.core import (
     experiment_table5,
     experiment_table6,
     experiment_table7,
+    experiment_timeline,
     experiment_topper,
 )
 from repro.metrics.report import format_table
@@ -78,6 +81,17 @@ def _cmd_fig3(args) -> None:
     print(exp.text)
     print()
     print(art)
+
+
+def _cmd_timeline(args) -> None:
+    result = experiment_timeline(
+        ranks=args.ranks,
+        n=args.particles,
+        fail_rank=args.fail_rank,
+        fail_at_s=args.fail_at,
+        limit=args.limit,
+    )
+    print(result.text)
 
 
 def _cmd_topper(_args) -> None:
@@ -151,6 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--particles", type=int, default=4000)
     sub.add_parser("topper", help="the ToPPeR headline claim")
     sub.add_parser("green500", help="Top500 vs Green500 rankings")
+    pt = sub.add_parser(
+        "timeline", help="time-coherent event timeline of a treecode step"
+    )
+    pt.add_argument("--ranks", type=int, default=6)
+    pt.add_argument("--particles", type=int, default=1500)
+    pt.add_argument("--limit", type=int, default=48,
+                    help="max timeline lines to print")
+    pt.add_argument("--fail-rank", type=int, default=None,
+                    help="inject a node failure into this rank")
+    pt.add_argument("--fail-at", type=float, default=0.0,
+                    help="virtual time (s) of the injected failure")
     pa = sub.add_parser("all", help="everything (takes minutes)")
     pa.add_argument("--particles", type=int, default=3000)
     pa.add_argument("--cpus", type=int, nargs="+", default=[1, 4, 24])
@@ -168,6 +193,7 @@ _HANDLERS = {
     "table6": _cmd_table6,
     "table7": _cmd_table7,
     "fig3": _cmd_fig3,
+    "timeline": _cmd_timeline,
     "topper": _cmd_topper,
     "green500": _cmd_green500,
     "all": _cmd_all,

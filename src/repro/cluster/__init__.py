@@ -29,22 +29,38 @@ from repro.cluster.catalog import (
     cluster_by_name,
     traditional_beowulf,
 )
-from repro.cluster.reliability import ClusterReliability, OutageProfile
+from repro.cluster.management import (
+    ClusterOperationSim,
+    LiveFailureInjector,
+    ManagementHub,
+)
+from repro.cluster.reliability import (
+    BLADED_OUTAGES,
+    TRADITIONAL_OUTAGES,
+    ClusterReliability,
+    OutageProfile,
+    sample_failure_times,
+)
 
 __all__ = [
     "AVALON",
+    "BLADED_OUTAGES",
     "BLADE_FORM_FACTOR",
     "CLUSTER_CATALOG",
     "ChassisError",
     "Cluster",
+    "ClusterOperationSim",
     "ClusterReliability",
     "ComputeNode",
     "GREEN_DESTINY",
     "LOKI",
+    "LiveFailureInjector",
     "METABLADE",
     "METABLADE2",
+    "ManagementHub",
     "NodeConfig",
     "OutageProfile",
+    "TRADITIONAL_OUTAGES",
     "Packaging",
     "RACK_FOOTPRINT_SQFT",
     "Rack",
@@ -52,5 +68,6 @@ __all__ = [
     "ServerBlade",
     "TABLE5_CLUSTERS",
     "cluster_by_name",
+    "sample_failure_times",
     "traditional_beowulf",
 ]

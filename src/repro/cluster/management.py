@@ -11,10 +11,16 @@ This module makes those claims executable:
 - :class:`ManagementHub` - an event log + detection-latency model per
   packaging style;
 - :class:`ClusterOperationSim` - a seeded Monte-Carlo operation
-  simulator: failures arrive as a Poisson process at the cluster's
-  empirical (or Arrhenius-predicted) rate, each failure becomes an
-  outage with the packaging's blast radius, and the simulator reports
-  delivered CPU-hours, availability and downtime cost.
+  simulator on the shared discrete-event kernel: failures arrive as an
+  event-chained Poisson process at the cluster's empirical (or
+  Arrhenius-predicted) rate, each failure becomes an outage with the
+  packaging's blast radius, and the simulator reports delivered
+  CPU-hours, availability and downtime cost;
+- :class:`LiveFailureInjector` - the same failure model pointed at a
+  *running* SimMPI program: arrivals become
+  :meth:`~repro.simmpi.runtime.SimMpiRuntime.fail_at` events on the
+  run's own kernel, so the rank program sees the failure mid-execution
+  while the hub logs it.
 
 The test suite cross-checks the Monte-Carlo downtime against the
 closed-form numbers the TCO model (Table 5) uses.
@@ -34,7 +40,9 @@ from repro.cluster.reliability import (
     TRADITIONAL_OUTAGES,
     ClusterReliability,
     OutageProfile,
+    sample_failure_times,
 )
+from repro.core.events import EventKernel
 
 
 class EventKind(enum.Enum):
@@ -139,45 +147,61 @@ class ClusterOperationSim:
             return BLADED_OUTAGES
         return TRADITIONAL_OUTAGES
 
-    def run(self, hours: float) -> OperationReport:
-        """Simulate *hours* of operation; failures are Poisson arrivals."""
+    def run(self, hours: float,
+            kernel: Optional[EventKernel] = None) -> OperationReport:
+        """Simulate *hours* of operation; failures are Poisson arrivals.
+
+        Arrivals are event-chained on a discrete-event kernel (clock
+        unit: hours): each failure event draws the affected node, posts
+        its detection and repair as future events, and schedules the
+        next arrival.  The hub log therefore comes out globally
+        time-ordered rather than grouped per failure.  The rng draw
+        sequence (gap, node, gap, node, ...) matches the pre-kernel
+        loop, so seeded results are unchanged.
+        """
         if hours <= 0:
             raise ValueError("hours must be positive")
         hub = ManagementHub.for_packaging(self.cluster.packaging)
-        t = 0.0
-        failures = 0
-        lost = 0.0
-        while True:
-            if self.rate_per_hour <= 0:
-                break
+        kernel = kernel if kernel is not None else EventKernel()
+        counters = {"failures": 0, "lost": 0.0}
+        affected = self.cluster.nodes if self.profile.whole_cluster else 1
+        blast = "whole cluster" if self.profile.whole_cluster \
+            else "single node"
+
+        def schedule_next(now_h: float) -> None:
             gap = self.rng.expovariate(self.rate_per_hour)
-            t += gap
-            if t >= hours:
-                break
-            failures += 1
+            arrival = now_h + gap
+            if arrival < hours:
+                kernel.at(arrival, fail, arrival)
+
+        def fail(t: float) -> None:
+            counters["failures"] += 1
+            counters["lost"] += self.profile.outage_hours * affected
             node = self.rng.randrange(self.cluster.nodes)
             hub.record(ManagementEvent(t, EventKind.FAILURE, node))
-            detect_at = t + hub.detection_latency_h
-            hub.record(
-                ManagementEvent(detect_at, EventKind.DETECTED, node)
-            )
-            outage_end = t + self.profile.outage_hours
-            hub.record(
+            kernel.at(
+                t + hub.detection_latency_h, hub.record,
                 ManagementEvent(
-                    outage_end, EventKind.REPAIRED, node,
-                    detail="whole cluster" if self.profile.whole_cluster
-                    else "single node",
-                )
+                    t + hub.detection_latency_h, EventKind.DETECTED, node
+                ),
             )
-            affected = (
-                self.cluster.nodes if self.profile.whole_cluster else 1
+            kernel.at(
+                t + self.profile.outage_hours, hub.record,
+                ManagementEvent(
+                    t + self.profile.outage_hours, EventKind.REPAIRED,
+                    node, detail=blast,
+                ),
             )
-            lost += self.profile.outage_hours * affected
+            schedule_next(t)
+
+        if self.rate_per_hour > 0:
+            schedule_next(0.0)
+        kernel.run()
         return OperationReport(
             hours=hours,
             nodes=self.cluster.nodes,
-            failures=failures,
-            lost_cpu_hours=lost,
+            failures=counters["failures"],
+            lost_cpu_hours=counters["lost"],
             hub=hub,
         )
 
@@ -186,6 +210,67 @@ class ClusterOperationSim:
         return self.profile.downtime_cpu_hours(
             self.cluster.nodes, hours / 8760.0
         )
+
+
+class LiveFailureInjector:
+    """Point the cluster failure model at a live SimMPI run.
+
+    Where :class:`ClusterOperationSim` prices failures against an
+    abstract operation period, this injector schedules them on the
+    *runtime's own* event kernel, so the SPMD program experiences the
+    failure mid-run (its ranks see
+    :class:`~repro.simmpi.comm.NodeFailureError`) and the management
+    hub logs it.  The SimMPI clock runs in seconds; hub entries are
+    recorded in hours to match the operation model.
+    """
+
+    def __init__(self, runtime, profile: OutageProfile = BLADED_OUTAGES,
+                 hub: Optional[ManagementHub] = None) -> None:
+        self.runtime = runtime
+        self.profile = profile
+        self.hub = hub if hub is not None else ManagementHub(
+            detection_latency_h=0.05
+        )
+
+    def fail_rank(self, time_s: float, rank: int,
+                  detail: str = "") -> None:
+        """Schedule *rank*'s node to die at virtual *time_s* seconds."""
+        self.runtime.fail_at(time_s, rank, detail)
+        time_h = time_s / 3600.0
+        self.hub.record(
+            ManagementEvent(time_h, EventKind.FAILURE, rank, detail)
+        )
+        self.hub.record(
+            ManagementEvent(
+                time_h + self.hub.detection_latency_h,
+                EventKind.DETECTED, rank,
+            )
+        )
+
+    def schedule_poisson(self, horizon_s: float,
+                         rng: random.Random) -> List[float]:
+        """Draw Poisson arrivals over the run horizon and inject them.
+
+        SPMD runs last virtual seconds while cluster MTBFs are months,
+        so one simulated second stands in for one operational hour: the
+        profile's per-hour rate is applied per second of *horizon_s*.
+        Each arrival picks a uniform random rank.  Returns the
+        injection times (seconds).
+        """
+        times = sample_failure_times(
+            rng, self.profile.rate_per_hour, horizon_s
+        )
+        for t in times:
+            rank = rng.randrange(self.runtime.size)
+            self.fail_rank(t, rank, detail="poisson arrival")
+        return times
+
+    def lost_cpu_hours(self) -> float:
+        """Blast-radius accounting for the injected failures."""
+        per_failure = self.profile.outage_hours * (
+            self.runtime.size if self.profile.whole_cluster else 1
+        )
+        return len(self.hub.failures()) * per_failure
 
 
 def inject_failure(cluster: Cluster, hub: ManagementHub, node: int,

@@ -2,9 +2,12 @@
 
 :class:`~repro.core.system.BladedBeowulf` wires the packages together
 the way the paper's Section 2-4 narrative does; :mod:`~repro.core.experiments`
-regenerates every table and figure of the evaluation.
+regenerates every table and figure of the evaluation;
+:mod:`~repro.core.events` is the discrete-event kernel every
+time-bearing layer shares.
 """
 
+from repro.core.events import Event, EventKernel, Process, TimelineEvent
 from repro.core.system import BladedBeowulf, PEAK_FLOPS_PER_CYCLE, peak_gflops
 from repro.core.experiments import (
     Table4Row,
@@ -16,13 +19,18 @@ from repro.core.experiments import (
     experiment_table5,
     experiment_table6,
     experiment_table7,
+    experiment_timeline,
     experiment_topper,
 )
 
 __all__ = [
     "BladedBeowulf",
+    "Event",
+    "EventKernel",
     "PEAK_FLOPS_PER_CYCLE",
+    "Process",
     "Table4Row",
+    "TimelineEvent",
     "experiment_fig3",
     "experiment_table1",
     "experiment_table2",
@@ -31,6 +39,7 @@ __all__ = [
     "experiment_table5",
     "experiment_table6",
     "experiment_table7",
+    "experiment_timeline",
     "experiment_topper",
     "peak_gflops",
 ]

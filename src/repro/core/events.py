@@ -1,0 +1,243 @@
+"""Discrete-event simulation kernel: one virtual clock for the machine.
+
+Every time-bearing layer of the reproduction — SimMPI rank scheduling,
+fabric occupancy, node failures, LongRun DVFS transitions — used to
+keep its own notion of time (a round-robin busy-poll, a standalone
+Poisson log, a frequency stepper).  This module is the shared core they
+all run on now:
+
+- :class:`EventKernel` — a global virtual clock plus a binary-heap
+  event queue.  ``kernel.at(t, fn)`` schedules a callback; ``run()``
+  fires events in ``(time, insertion)`` order, so simulations are
+  deterministic for a given schedule.
+- :class:`Process` — a handle around a generator that blocks on events:
+  it is resumed (``wake``), poked with an exception (``interrupt``) or
+  left suspended, and counts its own resumptions so schedulers can be
+  compared by how much driving they do.
+- :class:`TimelineEvent` — one structured record of the optional
+  time-coherent timeline (``record_timeline=True``); SimMPI sends,
+  wakes, failures, link occupancy and DVFS steps all land here with a
+  shared time axis, rendered by :mod:`repro.simmpi.trace`.
+
+Rank-local clocks (a rank computing for 100 virtual seconds without
+communicating) may run *ahead* of the kernel clock; the kernel clock
+itself never moves backwards — an event scheduled at-or-before ``now``
+fires at ``now``.  That is the standard conservative compromise for
+cooperative SPMD simulation: causal order is enforced where it matters
+(message delivery, failures, DVFS steps), while pure local compute is
+charged without a kernel round-trip.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One structured record on the unified virtual-time axis."""
+
+    time: float
+    kind: str
+    fields: Tuple[Tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.fields)
+
+
+class Event:
+    """A scheduled callback; ``cancel()`` makes it a no-op."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 fn: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventKernel:
+    """Global virtual clock + binary-heap event queue."""
+
+    def __init__(self, record_timeline: bool = False) -> None:
+        self.now = 0.0
+        self.fired = 0
+        self.record_timeline = record_timeline
+        self.timeline: List[TimelineEvent] = []
+        self._heap: List[Event] = []
+        self._seq = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at virtual *time*."""
+        if time < 0:
+            raise ValueError("cannot schedule at negative virtual time")
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: float, fn: Callable[..., Any],
+              *args: Any) -> Event:
+        """Schedule ``fn(*args)`` *delay* after the current clock."""
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        return self.at(self.now + delay, fn, *args)
+
+    def pending(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # -- the loop ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event; False when the queue is drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = max(self.now, event.time)
+            self.fired += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the queue (or stop once the clock passes *until*)."""
+        while self._heap:
+            if until is not None and self._next_time() > until:
+                break
+            self.step()
+        return self.now
+
+    def _next_time(self) -> float:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else float("inf")
+
+    # -- timeline ----------------------------------------------------------
+
+    def trace(self, kind: str, time: Optional[float] = None,
+              **fields: Any) -> None:
+        """Record one timeline entry (no-op unless recording)."""
+        if self.record_timeline:
+            self.timeline.append(
+                TimelineEvent(
+                    time=self.now if time is None else time,
+                    kind=kind,
+                    fields=tuple(fields.items()),
+                )
+            )
+
+    def sorted_timeline(self) -> List[TimelineEvent]:
+        """The timeline in virtual-time order (stable for ties)."""
+        return sorted(self.timeline, key=lambda e: e.time)
+
+
+class Process:
+    """A generator task that blocks on events and is woken by them.
+
+    The generator yields whenever it blocks; what it yields is handed to
+    ``on_block`` (schedulers register waiters there).  ``wake`` resumes
+    it through the kernel; ``interrupt`` throws an exception into it at
+    its suspension point.  ``resumptions`` counts how many times the
+    generator was driven — the currency the scheduling microbenchmark
+    compares.
+    """
+
+    def __init__(self, kernel: EventKernel, gen: Generator,
+                 name: str = "",
+                 on_block: Optional[Callable[["Process", Any], None]] = None,
+                 on_finish: Optional[Callable[["Process"], None]] = None,
+                 on_error: Optional[
+                     Callable[["Process", BaseException], bool]] = None,
+                 ) -> None:
+        self.kernel = kernel
+        self.gen = gen
+        self.name = name
+        self.on_block = on_block
+        self.on_finish = on_finish
+        self.on_error = on_error
+        self.result: Any = None
+        self.finished = False
+        self.failed = False
+        self.failure: Optional[BaseException] = None
+        self.resumptions = 0
+        self._pending: Optional[Event] = None
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return not self.finished and not self.failed
+
+    @property
+    def scheduled(self) -> bool:
+        return self._pending is not None and not self._pending.cancelled
+
+    # -- control -----------------------------------------------------------
+
+    def start(self, time: float = 0.0) -> None:
+        self._schedule(time, None)
+
+    def wake(self, time: Optional[float] = None) -> None:
+        """Resume the process at *time* (default: now)."""
+        if not self.alive or self.scheduled:
+            return
+        self._schedule(self.kernel.now if time is None else time, None)
+
+    def interrupt(self, exc: BaseException,
+                  time: Optional[float] = None) -> None:
+        """Throw *exc* into the process at its suspension point."""
+        if not self.alive:
+            return
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._schedule(self.kernel.now if time is None else time, exc)
+
+    def _schedule(self, time: float, exc: Optional[BaseException]) -> None:
+        self._pending = self.kernel.at(time, self._resume, exc)
+
+    # -- the drive ---------------------------------------------------------
+
+    def _resume(self, exc: Optional[BaseException]) -> None:
+        self._pending = None
+        self.resumptions += 1
+        try:
+            if exc is None:
+                yielded = next(self.gen)
+            else:
+                yielded = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            if self.on_finish is not None:
+                self.on_finish(self)
+            return
+        except BaseException as error:  # noqa: BLE001 - scheduler boundary
+            if self.on_error is not None and self.on_error(self, error):
+                self.failed = True
+                self.failure = error
+                return
+            raise
+        if self.on_block is not None:
+            self.on_block(self, yielded)

@@ -312,6 +312,60 @@ def experiment_fig3(config: Optional[SimConfig] = None,
 
 
 # ---------------------------------------------------------------------------
+# Event timeline - the unified virtual clock made visible
+# ---------------------------------------------------------------------------
+
+def experiment_timeline(
+    ranks: int = 6,
+    n: int = 1500,
+    fail_rank: Optional[int] = None,
+    fail_at_s: float = 0.0,
+    limit: Optional[int] = 48,
+) -> ExperimentResult:
+    """One treecode step on MetaBlade with the event kernel recording.
+
+    Every layer posts onto one clock — rank starts/blocks/wakes from
+    the scheduler, link and switch occupancy from the fabric, failures
+    from the injector — so the rendered timeline is globally
+    time-coherent.  ``fail_rank`` (optionally) kills a node mid-run.
+    """
+    from collections import Counter
+
+    from repro.nbody.parallel import run_parallel_nbody
+    from repro.simmpi import render_timeline
+
+    machine = BladedBeowulf.metablade()
+    kernel = machine.event_kernel(record_timeline=True)
+    runtime = machine.mpi_runtime(ranks, kernel=kernel)
+    if fail_rank is not None:
+        runtime.fail_at(fail_at_s, fail_rank, detail="injected")
+    config = SimConfig(n=n, steps=1, theta=0.7, softening=1e-2)
+    run = run_parallel_nbody(
+        config, ranks, machine.node_flop_rate(), runtime=runtime
+    )
+    events = kernel.sorted_timeline()
+    counts = Counter(e.kind for e in events)
+    rows = [[kind, count] for kind, count in sorted(counts.items())]
+    table = format_table(
+        ["Event kind", "Count"], rows,
+        title=f"Unified event timeline: {ranks}-rank treecode step",
+    )
+    text = table + "\n\n" + render_timeline(events, limit=limit)
+    return ExperimentResult(
+        experiment="timeline",
+        headers=["Event kind", "Count"],
+        rows=rows,
+        text=text,
+        extras={
+            "events": float(len(events)),
+            "resumptions": float(run.resumptions),
+            "elapsed_s": run.elapsed_s,
+            "failed_ranks": float(len(run.failed_ranks)),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # Section 4.1 - the ToPPeR headline claim
 # ---------------------------------------------------------------------------
 

@@ -12,6 +12,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.cluster.catalog import Cluster, METABLADE, Packaging
 from repro.cluster.reliability import ClusterReliability
+from repro.core.events import EventKernel
 from repro.cpus.base import Processor
 from repro.cpus.catalog import CPU_CATALOG
 from repro.metrics.costs import CostParameters, DEFAULT_COSTS
@@ -75,6 +76,34 @@ class BladedBeowulf:
 
     def percent_of_peak(self) -> float:
         return 100.0 * self.sustained_gflops() / self.peak_gflops()
+
+    def event_kernel(self, record_timeline: bool = False) -> EventKernel:
+        """A fresh virtual clock for runs on this machine."""
+        return EventKernel(record_timeline=record_timeline)
+
+    def mpi_runtime(self, cpus: Optional[int] = None,
+                    ideal_network: bool = False,
+                    kernel: Optional[EventKernel] = None,
+                    governor=None):
+        """A SimMPI scheduler on this machine's fabric and node rate.
+
+        The returned runtime shares *kernel* (or a fresh one), so
+        failure injectors, DVFS governors and timeline tracing all see
+        the same virtual time as the SPMD program.
+        """
+        from repro.network.timing import IdealFabric, star_fabric
+        from repro.simmpi import SimMpiRuntime
+
+        n = cpus if cpus is not None else self.cluster.nodes
+        if n > self.cluster.nodes:
+            raise ValueError(
+                f"{n} ranks exceed the machine's {self.cluster.nodes} nodes"
+            )
+        fabric = IdealFabric(n) if ideal_network else star_fabric(n)
+        return SimMpiRuntime(
+            n, fabric=fabric, flop_rate=self.node_flop_rate(),
+            kernel=kernel, governor=governor,
+        )
 
     def nbody_scaling(self, config: SimConfig,
                       cpu_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 24),

@@ -9,15 +9,22 @@ project's follow-on energy work build on it, so the model carries it:
 - each step is a (MHz, volts) pair from the part's published ladder;
 - :func:`energy_study` runs a real workload through the CMS pipeline at
   each step and reports time, average power and energy-to-solution -
-  the run-fast-vs-run-slow frontier.
+  the run-fast-vs-run-slow frontier;
+- :class:`LongRunGovernor` is the *time model*: a piecewise-constant
+  DVFS trajectory on the shared
+  :class:`~repro.core.events.EventKernel` clock, so flop rates (and the
+  energy ledger) change mid-run inside live SimMPI programs —
+  :func:`dvfs_trajectory_study` demonstrates exactly that.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.cms import CmsConfig, CodeMorphingSoftware
+from repro.core.events import EventKernel
 from repro.cpus.base import ProcessorSpec
 from repro.isa.programs import GuestWorkload
 
@@ -99,6 +106,117 @@ TM5800_LONGRUN = LongRunModel(ladder=TM5800_LADDER, rated_watts=3.5)
 
 
 @dataclass(frozen=True)
+class DvfsTransition:
+    """One scheduled operating-point change on the virtual clock."""
+
+    time_s: float
+    step: LongRunStep
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("transition time cannot be negative")
+
+
+class LongRunGovernor:
+    """A DVFS trajectory on the unified event-kernel clock.
+
+    The governor holds a piecewise-constant schedule of
+    :class:`LongRunStep` operating points starting from *initial*
+    (default: the ladder's top).  Attached to a
+    :class:`~repro.simmpi.runtime.SimMpiRuntime`, it scales every
+    ``comm.compute_flops`` charge by the frequency of the step active
+    at each instant of the work — a transition mid-computation splits
+    the charge across steps — and integrates power over the same
+    segments into the per-rank energy ledger.  With a tracing kernel,
+    each transition also lands on the shared timeline as a ``dvfs``
+    event.
+    """
+
+    def __init__(self, model: LongRunModel,
+                 initial: Optional[LongRunStep] = None,
+                 kernel: Optional[EventKernel] = None) -> None:
+        self.model = model
+        self.initial = initial if initial is not None else model.top
+        self.kernel = kernel
+        self._times: List[float] = []
+        self._steps: List[LongRunStep] = []
+
+    @property
+    def transitions(self) -> Tuple[DvfsTransition, ...]:
+        return tuple(
+            DvfsTransition(t, s) for t, s in zip(self._times, self._steps)
+        )
+
+    def step_at(self, time_s: float, step: LongRunStep) -> None:
+        """Schedule an operating-point change at virtual *time_s*."""
+        if time_s < 0:
+            raise ValueError("transition time cannot be negative")
+        if step not in self.model.ladder:
+            raise ValueError(f"{step} is not on the part's ladder")
+        i = bisect_right(self._times, time_s)
+        self._times.insert(i, time_s)
+        self._steps.insert(i, step)
+        if self.kernel is not None:
+            self.kernel.at(
+                time_s,
+                lambda t=time_s, s=step: self.kernel.trace(
+                    "dvfs", time=t, mhz=s.mhz, volts=s.volts,
+                ),
+            )
+
+    def step_for_budget_at(self, time_s: float,
+                           watts: float) -> Optional[LongRunStep]:
+        """Schedule the fastest step fitting a power budget; None if none."""
+        step = self.model.step_for_budget(watts)
+        if step is not None:
+            self.step_at(time_s, step)
+        return step
+
+    def step_at_time(self, t: float) -> LongRunStep:
+        """The operating point active at virtual time *t*."""
+        i = bisect_right(self._times, t)
+        return self.initial if i == 0 else self._steps[i - 1]
+
+    def frequency_scale(self, t: float) -> float:
+        """Active frequency as a fraction of the top step's."""
+        return self.step_at_time(t).mhz / self.model.top.mhz
+
+    def power_at(self, t: float) -> float:
+        return self.model.power_watts(self.step_at_time(t))
+
+    def advance(self, start: float, flops: float,
+                base_rate: float) -> Tuple[float, float]:
+        """Charge *flops* starting at *start*; -> (elapsed_s, energy_j).
+
+        *base_rate* is the node's sustained flops/s **at the top
+        step**; each trajectory segment runs at base_rate scaled by its
+        step's frequency, and energy integrates the step's power over
+        the segment.
+        """
+        if flops < 0:
+            raise ValueError("flops cannot be negative")
+        if base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        t = start
+        remaining = flops
+        energy = 0.0
+        top_mhz = self.model.top.mhz
+        while True:
+            step = self.step_at_time(t)
+            rate = base_rate * step.mhz / top_mhz
+            i = bisect_right(self._times, t)
+            next_t = self._times[i] if i < len(self._times) else None
+            if next_t is None or remaining <= (next_t - t) * rate:
+                dt = remaining / rate
+                energy += self.model.power_watts(step) * dt
+                return t + dt - start, energy
+            seg = next_t - t
+            energy += self.model.power_watts(step) * seg
+            remaining -= seg * rate
+            t = next_t
+
+
+@dataclass(frozen=True)
 class EnergyPoint:
     """One operating point's outcome on one workload."""
 
@@ -138,6 +256,66 @@ def energy_study(workload: GuestWorkload,
             )
         )
     return points
+
+
+@dataclass(frozen=True)
+class TrajectoryOutcome:
+    """A live SimMPI run priced under one DVFS trajectory."""
+
+    elapsed_s: float
+    energy_j: float
+    transitions: Tuple[DvfsTransition, ...]
+
+    @property
+    def avg_power_watts(self) -> float:
+        return self.energy_j / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+def dvfs_trajectory_study(
+    model: LongRunModel = TM5600_LONGRUN,
+    ranks: int = 4,
+    phases: int = 6,
+    flops_per_phase: float = 5e6,
+    base_rate: float = 1e8,
+) -> Tuple[TrajectoryOutcome, TrajectoryOutcome]:
+    """Price a mid-run LongRun descent against an all-top-step run.
+
+    Every rank alternates compute and allreduce for *phases* rounds
+    while a :class:`LongRunGovernor` walks the ladder downward one
+    notch per (top-rate) phase interval — the flop rate changes *while
+    the program runs*, on the same event-kernel clock the scheduler
+    uses.  Returns (stepped, flat) outcomes: the descent trades
+    elapsed time for energy because power falls as f * V^2 while time
+    only grows as 1/f.
+    """
+    from repro.network.timing import star_fabric
+    from repro.simmpi import SimMpiRuntime
+
+    def program(comm):
+        for _ in range(phases):
+            comm.compute_flops(flops_per_phase)
+            yield from comm.allreduce(comm.rank)
+        return comm.clock
+
+    def run(governor: LongRunGovernor) -> TrajectoryOutcome:
+        runtime = SimMpiRuntime(
+            ranks, fabric=star_fabric(ranks), flop_rate=base_rate,
+            kernel=governor.kernel, governor=governor,
+        )
+        result = runtime.run(program)
+        return TrajectoryOutcome(
+            elapsed_s=result.elapsed_s,
+            energy_j=sum(s.energy_j for s in result.stats),
+            transitions=governor.transitions,
+        )
+
+    ladder = sorted(model.ladder, key=lambda s: s.mhz, reverse=True)
+    top_phase_s = flops_per_phase / base_rate
+    stepped_gov = LongRunGovernor(model, kernel=EventKernel())
+    for i, step in enumerate(ladder[1:], start=1):
+        stepped_gov.step_at(i * top_phase_s, step)
+    flat_gov = LongRunGovernor(model, kernel=EventKernel())
+    return run(stepped_gov), run(flat_gov)
 
 
 def spec_at_step(spec: ProcessorSpec, step: LongRunStep,

@@ -125,16 +125,24 @@ def _split(arr: np.ndarray, parts: int) -> List[np.ndarray]:
 def run_parallel_nbody(config: SimConfig, cpus: int, flop_rate: float,
                        ideal_network: bool = False,
                        balance: str = "work",
-                       fabric=None):
+                       fabric=None,
+                       runtime: Optional[SimMpiRuntime] = None):
     """Run the SPMD treecode on a modelled MetaBlade of *cpus* blades.
 
     ``fabric`` overrides the interconnect (defaults to the Fast Ethernet
     star, or :class:`IdealFabric` with ``ideal_network=True``).
+    ``runtime`` overrides the whole scheduler — pass one prebuilt on a
+    shared event kernel to trace timelines or inject failures.
     """
     pos, vel, mass = config.make_ic()
-    if fabric is None:
-        fabric = IdealFabric(cpus) if ideal_network else star_fabric(cpus)
-    runtime = SimMpiRuntime(cpus, fabric=fabric, flop_rate=flop_rate)
+    if runtime is None:
+        if fabric is None:
+            fabric = IdealFabric(cpus) if ideal_network else star_fabric(cpus)
+        runtime = SimMpiRuntime(cpus, fabric=fabric, flop_rate=flop_rate)
+    elif runtime.size != cpus:
+        raise ValueError(
+            f"runtime has {runtime.size} ranks but cpus={cpus}"
+        )
     pos_parts = _split(pos, cpus)
     vel_parts = _split(vel, cpus)
     mass_parts = _split(mass, cpus)

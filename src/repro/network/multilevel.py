@@ -14,9 +14,10 @@ the star, so SimMPI programs run on either unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List, Optional
 
-from repro.network.link import FAST_ETHERNET, GIGABIT_ETHERNET, Link, LinkSchedule
+from repro.core.events import EventKernel
+from repro.network.link import GIGABIT_ETHERNET, Link, LinkSchedule
 from repro.network.nic import FAST_ETHERNET_NIC, Nic
 from repro.network.switch import BackplaneSchedule, Switch
 from repro.network.topology import Transfer
@@ -84,6 +85,11 @@ class RackTopology:
         )
         self._agg = BackplaneSchedule(agg)
         self.transfers: List[Transfer] = []
+        self._kernel: Optional[EventKernel] = None
+
+    def attach_kernel(self, kernel: EventKernel) -> None:
+        """Post uplink/aggregation occupancy onto *kernel*'s timeline."""
+        self._kernel = kernel
 
     def chassis_of(self, node: int) -> int:
         return node // self.config.nodes_per_chassis
@@ -101,12 +107,14 @@ class RackTopology:
         self._check(dst)
         nic = self.config.nic
         if src == dst:
-            arrive = post_time + nic.send_overhead_s + nic.recv_overhead_s
+            # Loopback: host stack only (send overhead was already
+            # charged by the caller).
+            arrive = post_time + nic.recv_overhead_s
             t = Transfer(src, dst, nbytes, post_time, post_time, arrive)
             self.transfers.append(t)
             return t
-        ready = post_time + nic.send_overhead_s
-        depart, t_cursor = self._up[src].occupy(ready, nbytes)
+        # post_time is the NIC-accept instant: the wire is ready then.
+        depart, t_cursor = self._up[src].occupy(post_time, nbytes)
         src_ch = self.chassis_of(src)
         dst_ch = self.chassis_of(dst)
         if src_ch != dst_ch:
@@ -114,6 +122,11 @@ class RackTopology:
             # destination chassis switch forwards down.
             t_cursor += self.config.forward_latency_s
             _, t_cursor = self._chassis_up[src_ch].occupy(t_cursor, nbytes)
+            if self._kernel is not None:
+                self._kernel.trace(
+                    "chassis-uplink", time=t_cursor, src=src, dst=dst,
+                    nbytes=nbytes, resource=f"chassis{src_ch}-up",
+                )
             t_cursor = self._agg.occupy(t_cursor, nbytes)
             _, t_cursor = self._chassis_down[dst_ch].occupy(
                 t_cursor, nbytes
@@ -124,6 +137,11 @@ class RackTopology:
         arrive = t_cursor + nic.recv_overhead_s
         t = Transfer(src, dst, nbytes, post_time, depart, arrive)
         self.transfers.append(t)
+        if self._kernel is not None:
+            self._kernel.trace(
+                "link-up", time=depart, src=src, dst=dst, nbytes=nbytes,
+                resource=f"uplink{src}",
+            )
         return t
 
     def _check(self, node: int) -> None:

@@ -8,14 +8,21 @@ driven (on an ideal fabric the N-body code scales almost perfectly).
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Optional, Protocol, runtime_checkable
 
+from repro.core.events import EventKernel
 from repro.network.topology import StarTopology, Transfer
 
 
 @runtime_checkable
 class Fabric(Protocol):
-    """Structural interface shared by all interconnect models."""
+    """Structural interface shared by all interconnect models.
+
+    ``post_time`` is the instant the sender's NIC accepted the message
+    (the caller charges host-side send overhead before calling).
+    Concrete fabrics additionally support ``attach_kernel(kernel)`` to
+    post link/switch occupancy onto a shared event timeline.
+    """
 
     nodes: int
 
@@ -33,11 +40,20 @@ class IdealFabric:
             raise ValueError("need at least one node")
         self.nodes = nodes
         self.transfers = []
+        self._kernel: Optional[EventKernel] = None
+
+    def attach_kernel(self, kernel: EventKernel) -> None:
+        self._kernel = kernel
 
     def send(self, src: int, dst: int, nbytes: int,
              post_time: float) -> Transfer:
         t = Transfer(src, dst, nbytes, post_time, post_time, post_time)
         self.transfers.append(t)
+        if self._kernel is not None:
+            self._kernel.trace(
+                "link-up", time=post_time, src=src, dst=dst,
+                nbytes=nbytes, resource="ideal",
+            )
         return t
 
     def reset(self) -> None:

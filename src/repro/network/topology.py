@@ -11,8 +11,9 @@ compose from the same parts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.core.events import EventKernel
 from repro.network.link import LinkSchedule
 from repro.network.nic import FAST_ETHERNET_NIC, Nic
 from repro.network.switch import (
@@ -29,7 +30,7 @@ class Transfer:
     src: int
     dst: int
     nbytes: int
-    post_time: float      # when the sender posted the message
+    post_time: float      # when the sender's NIC accepted the message
     depart_time: float    # when the wire accepted it
     arrive_time: float    # when the payload is available at dst
 
@@ -58,6 +59,11 @@ class StarTopology:
         }
         self._backplane = BackplaneSchedule(switch)
         self.transfers: List[Transfer] = []
+        self._kernel: Optional[EventKernel] = None
+
+    def attach_kernel(self, kernel: EventKernel) -> None:
+        """Post link/switch occupancy onto *kernel*'s timeline."""
+        self._kernel = kernel
 
     def reset(self) -> None:
         for sched in self._up.values():
@@ -71,26 +77,40 @@ class StarTopology:
              post_time: float) -> Transfer:
         """Route one message; returns its resolved :class:`Transfer`.
 
-        The sender is considered busy for ``nic.send_overhead_s`` after
-        *post_time* (the caller charges that to the sender's clock); the
-        returned ``arrive_time`` includes the receiver-side overhead.
+        *post_time* is the instant the sender's NIC accepted the
+        message — the caller has already charged ``nic.send_overhead_s``
+        to the sender's clock — so the wire is ready at *post_time*;
+        the returned ``arrive_time`` includes the receiver-side
+        overhead.
         """
         self._check(src)
         self._check(dst)
         if src == dst:
-            # Loopback: host stack only, no wire.
-            arrive = post_time + self.nic.send_overhead_s \
-                + self.nic.recv_overhead_s
+            # Loopback: host stack only, no wire (send overhead was
+            # already charged by the caller).
+            arrive = post_time + self.nic.recv_overhead_s
             t = Transfer(src, dst, nbytes, post_time, post_time, arrive)
             self.transfers.append(t)
             return t
-        ready = post_time + self.nic.send_overhead_s
-        depart, up_done = self._up[src].occupy(ready, nbytes)
+        depart, up_done = self._up[src].occupy(post_time, nbytes)
         fwd_done = self._backplane.occupy(up_done, nbytes)
         _, down_done = self._down[dst].occupy(fwd_done, nbytes)
         arrive = down_done + self.nic.recv_overhead_s
         t = Transfer(src, dst, nbytes, post_time, depart, arrive)
         self.transfers.append(t)
+        if self._kernel is not None:
+            self._kernel.trace(
+                "link-up", time=depart, src=src, dst=dst, nbytes=nbytes,
+                resource=f"uplink{src}",
+            )
+            self._kernel.trace(
+                "switch", time=up_done, src=src, dst=dst, nbytes=nbytes,
+                resource=self.switch.name,
+            )
+            self._kernel.trace(
+                "link-down", time=down_done, src=src, dst=dst,
+                nbytes=nbytes, resource=f"downlink{dst}",
+            )
         return t
 
     def _check(self, node: int) -> None:

@@ -17,6 +17,13 @@ Programming model (mpi4py-flavoured, cooperative generators):
 - collectives are generators too: ``yield from comm.barrier()``,
   ``x = yield from comm.bcast(x, root=0)``, ``yield from comm.allreduce(...)``.
 
+Scheduling is event-driven on :class:`~repro.core.events.EventKernel`:
+a blocked rank suspends until a matching message is posted, the kernel
+can kill ranks mid-run (``runtime.fail_at`` raises
+:class:`NodeFailureError` into programs — catch it to degrade), and a
+tracing kernel collects the structured event timeline that
+``python -m repro.cli timeline`` renders.
+
 Run with::
 
     runtime = SimMpiRuntime(size=24, fabric=star_fabric(24))
@@ -24,16 +31,27 @@ Run with::
     print(result.elapsed_s, result.results[0])
 """
 
-from repro.simmpi.comm import ANY_SOURCE, DeadlockError, Message, RankComm
+from repro.simmpi.comm import (
+    ANY_SOURCE,
+    DeadlockError,
+    Message,
+    NodeFailureError,
+    RankComm,
+    RecvBlock,
+)
 from repro.simmpi.runtime import RunResult, SimMpiRuntime
-from repro.simmpi.trace import CommStats
+from repro.simmpi.trace import CommStats, filter_timeline, render_timeline
 
 __all__ = [
     "ANY_SOURCE",
     "CommStats",
     "DeadlockError",
     "Message",
+    "NodeFailureError",
     "RankComm",
+    "RecvBlock",
     "RunResult",
     "SimMpiRuntime",
+    "filter_timeline",
+    "render_timeline",
 ]

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -13,12 +13,67 @@ from repro.simmpi.trace import CommStats
 #: Wildcard source for :meth:`RankComm.recv`.
 ANY_SOURCE: Optional[int] = None
 
-#: Sentinel yielded by blocked receives (internal protocol).
-_BLOCKED = object()
+
+@dataclass(frozen=True)
+class RecvBlock:
+    """Yielded by a blocked receive: the pattern the rank is waiting on.
+
+    The event-driven scheduler registers this as a waiter and resumes
+    the rank only when a matching message is posted (or the awaited
+    source fails) — the internal protocol between :meth:`RankComm.recv`
+    and :class:`~repro.simmpi.runtime.SimMpiRuntime`.
+    """
+
+    rank: int
+    src: Optional[int]
+    tag: Optional[int]
+
+    def matches(self, msg: "Message") -> bool:
+        if self.src is not ANY_SOURCE and msg.src != self.src:
+            return False
+        if self.tag is not None and msg.tag != self.tag:
+            return False
+        return True
 
 
 class DeadlockError(RuntimeError):
-    """All ranks are blocked on receives that can never match."""
+    """All surviving ranks are blocked on receives that can never match.
+
+    ``blocked`` maps each blocked rank to its pending ``(src, tag)``
+    pattern; ``mailboxes`` maps it to the ``(src, tag, nbytes)`` of
+    every message sitting undelivered in its mailbox — together they
+    show *why* nothing matches.
+    """
+
+    def __init__(self, message: str,
+                 blocked: Optional[Dict[int, Tuple[Optional[int],
+                                                   Optional[int]]]] = None,
+                 mailboxes: Optional[Dict[int, List[Tuple[int, int,
+                                                          int]]]] = None,
+                 ) -> None:
+        super().__init__(message)
+        self.blocked = blocked or {}
+        self.mailboxes = mailboxes or {}
+
+
+class NodeFailureError(RuntimeError):
+    """A modelled node failed mid-run.
+
+    Raised *inside* rank programs: into the failing rank itself at its
+    next suspension point, and into any rank blocked on a receive from
+    the failed rank once its mailbox holds no matching message.  Catch
+    it to degrade gracefully; uncaught, it marks the rank failed
+    without aborting the rest of the run.
+    """
+
+    def __init__(self, rank: int, time_s: float, detail: str = "") -> None:
+        text = f"node of rank {rank} failed at t={time_s:.6f}s"
+        if detail:
+            text += f" ({detail})"
+        super().__init__(text)
+        self.rank = rank
+        self.time_s = time_s
+        self.detail = detail
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -73,13 +128,25 @@ class RankComm:
 
     def compute_flops(self, flops: float,
                       flop_rate: Optional[float] = None) -> None:
-        """Charge *flops* of work at the node's sustained flop rate."""
+        """Charge *flops* of work at the node's sustained flop rate.
+
+        When the runtime carries a LongRun governor, the rate scales
+        with the DVFS step active at each instant of the work, so a
+        transition mid-computation splits the charge across steps (and
+        the energy ledger integrates power over the same segments).
+        """
         rate = flop_rate if flop_rate is not None else self._runtime.flop_rate
         if rate is None or rate <= 0:
             raise ValueError(
                 "no flop_rate given and the runtime has no node rate"
             )
-        self.compute(flops / rate)
+        governor = getattr(self._runtime, "governor", None)
+        if governor is None:
+            self.compute(flops / rate)
+            return
+        elapsed, energy_j = governor.advance(self.clock, flops, rate)
+        self.compute(elapsed)
+        self.stats.energy_j += energy_j
 
     # -- point to point ---------------------------------------------------
 
@@ -97,7 +164,12 @@ class RankComm:
                 self.stats.recvs += 1
                 self.stats.bytes_received += msg.nbytes
                 return msg.payload
-            yield _BLOCKED
+            if src is not ANY_SOURCE and self._runtime.rank_failed(src):
+                raise NodeFailureError(
+                    src, self._runtime.failure_time(src),
+                    detail=f"rank {self.rank} awaited tag {tag}",
+                )
+            yield RecvBlock(self.rank, src, tag)
 
     def sendrecv(self, dst: int, obj: Any, src: Optional[int] = ANY_SOURCE,
                  tag: int = 0) -> Iterator:
@@ -157,4 +229,3 @@ class RankComm:
         from repro.simmpi import collectives
         result = yield from collectives.alltoall(self, objs)
         return result
-

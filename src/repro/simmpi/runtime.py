@@ -1,17 +1,37 @@
-"""The SimMPI scheduler: drives rank generators over a fabric model."""
+"""The SimMPI scheduler: event-driven rank tasks over a fabric model.
+
+Ranks run as :class:`~repro.core.events.Process` handles on a shared
+:class:`~repro.core.events.EventKernel`.  A rank that blocks on a
+receive suspends and is woken only when a matching message is posted
+(at the message's fabric-resolved arrival time) or when the awaited
+node fails — no busy-polling.  The seed's scheduler resumed every
+alive rank once per sweep, O(alive ranks) generator resumptions even
+when nothing could progress; here resumptions track deliveries, which
+is what makes a 24-rank treecode step measurably cheaper to schedule
+(see ``tests/test_events.py``'s microbenchmark).
+
+The kernel is also where node failures and DVFS transitions live, so
+:meth:`SimMpiRuntime.fail_at` can kill a rank mid-run (the program sees
+:class:`~repro.simmpi.comm.NodeFailureError`) and a
+:class:`~repro.cpus.longrun.LongRunGovernor` can change flop rates
+while ranks compute — all on one virtual clock, all visible on the
+kernel's timeline when it records one.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.events import EventKernel, Process
 from repro.network.timing import Fabric, IdealFabric
-from repro.network.topology import StarTopology
 from repro.simmpi.comm import (
     ANY_SOURCE,
     DeadlockError,
     Message,
+    NodeFailureError,
     RankComm,
+    RecvBlock,
     payload_nbytes,
 )
 from repro.simmpi.trace import CommStats
@@ -25,6 +45,8 @@ class RunResult:
     clocks: Tuple[float, ...]         # per-rank final clocks
     results: Tuple[Any, ...]          # per-rank return values
     stats: Tuple[CommStats, ...]
+    resumptions: int = 0              # generator resumptions scheduled
+    failed_ranks: Tuple[int, ...] = ()
 
     @property
     def total_messages(self) -> int:
@@ -39,6 +61,10 @@ class RunResult:
         return max((s.compute_s for s in self.stats), default=0.0)
 
     @property
+    def completed_ranks(self) -> int:
+        return len(self.results) - len(self.failed_ranks)
+
+    @property
     def communication_fraction(self) -> float:
         """Share of the makespan not covered by the busiest rank's compute."""
         if self.elapsed_s <= 0:
@@ -47,14 +73,20 @@ class RunResult:
 
 
 class SimMpiRuntime:
-    """Cooperative SPMD scheduler with virtual time.
+    """Cooperative SPMD scheduler with virtual time on an event kernel.
 
     ``flop_rate`` (flops/s) lets rank programs charge work via
     ``comm.compute_flops`` without knowing which node model they run on.
+    ``kernel`` defaults to a private :class:`EventKernel`; pass one to
+    share the clock with failure injectors, DVFS governors or tracing.
+    ``governor`` (a :class:`~repro.cpus.longrun.LongRunGovernor`) makes
+    compute rates follow the DVFS trajectory scheduled on that clock.
     """
 
     def __init__(self, size: int, fabric: Optional[Fabric] = None,
-                 flop_rate: Optional[float] = None) -> None:
+                 flop_rate: Optional[float] = None,
+                 kernel: Optional[EventKernel] = None,
+                 governor: Optional[Any] = None) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
         self.size = size
@@ -62,9 +94,18 @@ class SimMpiRuntime:
         if getattr(self.fabric, "nodes", size) < size:
             raise ValueError("fabric has fewer nodes than ranks")
         self.flop_rate = flop_rate
+        self.kernel = kernel if kernel is not None else EventKernel()
+        self.governor = governor
+        attach = getattr(self.fabric, "attach_kernel", None)
+        if attach is not None:
+            attach(self.kernel)
         self._mailboxes: Dict[int, List[Message]] = {}
         self._consumed = 0
         self._posted = 0
+        self._waiters: Dict[int, Tuple[RecvBlock, Process]] = {}
+        self._failed: Dict[int, Tuple[float, str]] = {}
+        self._tasks: Optional[List[Process]] = None
+        self._comms: Optional[List[RankComm]] = None
 
     # -- message plumbing (called by RankComm) -----------------------------
 
@@ -72,10 +113,11 @@ class SimMpiRuntime:
         if not 0 <= dst < self.size:
             raise ValueError(f"destination {dst} outside 0..{self.size - 1}")
         nbytes = payload_nbytes(obj)
+        # Sender-side cost first: the NIC accepts the message only once
+        # the host stack has run, so the fabric's post_time is the
+        # post-overhead clock — not the instant the program called send.
+        comm.clock += self._send_overhead()
         transfer = self.fabric.send(comm.rank, dst, nbytes, comm.clock)
-        # Sender-side cost: the host is busy until the NIC accepts it.
-        overhead = self._send_overhead()
-        comm.clock += overhead
         comm.stats.sends += 1
         comm.stats.bytes_sent += nbytes
         msg = Message(
@@ -89,6 +131,18 @@ class SimMpiRuntime:
         )
         self._mailboxes.setdefault(dst, []).append(msg)
         self._posted += 1
+        self.kernel.trace(
+            "send", time=msg.post_time, src=msg.src, dst=dst, tag=tag,
+            nbytes=nbytes, arrive=msg.arrive_time,
+        )
+        waiter = self._waiters.get(dst)
+        if waiter is not None and waiter[0].matches(msg):
+            del self._waiters[dst]
+            self.kernel.trace(
+                "wake", time=msg.arrive_time, rank=dst, src=msg.src,
+                tag=msg.tag,
+            )
+            waiter[1].wake(time=msg.arrive_time)
 
     def match(self, dst: int, src: Optional[int],
               tag: Optional[int]) -> Optional[Message]:
@@ -109,13 +163,52 @@ class SimMpiRuntime:
         nic = getattr(self.fabric, "nic", None)
         return nic.send_overhead_s if nic is not None else 0.0
 
+    # -- failure injection -------------------------------------------------
+
+    def fail_at(self, time_s: float, rank: int, detail: str = "") -> None:
+        """Schedule the node hosting *rank* to fail at a virtual time.
+
+        When the event fires mid-run, :class:`NodeFailureError` is
+        raised into the failing rank at its suspension point, and into
+        every rank blocked on a receive from it (once its mailbox holds
+        no matching message).  A program that catches the error can
+        degrade or retry; uncaught, the rank is marked failed and the
+        rest of the run continues.
+        """
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside 0..{self.size - 1}")
+        self.kernel.at(time_s, self._apply_failure, rank, time_s, detail)
+
+    def rank_failed(self, rank: int) -> bool:
+        return rank in self._failed
+
+    def failure_time(self, rank: int) -> float:
+        return self._failed[rank][0]
+
+    def _apply_failure(self, rank: int, time_s: float, detail: str) -> None:
+        if rank in self._failed:
+            return
+        self._failed[rank] = (time_s, detail)
+        self.kernel.trace("failure", time=time_s, rank=rank, detail=detail)
+        if self._tasks is None:
+            return
+        task = self._tasks[rank]
+        if task.alive:
+            self._waiters.pop(rank, None)
+            task.interrupt(NodeFailureError(rank, time_s, detail))
+        # Ranks blocked on the dead node get the failure raised into
+        # their receive (after draining any already-delivered messages).
+        for dst, (block, proc) in list(self._waiters.items()):
+            if block.src == rank:
+                del self._waiters[dst]
+                proc.wake()
+
     # -- the scheduler ------------------------------------------------------
 
     def run(self, fn: Callable, *args: Any, **kwargs: Any) -> RunResult:
         """Run generator function *fn(comm, \\*args)* on every rank."""
         comms = [RankComm(r, self.size, self) for r in range(self.size)]
         gens: List[Any] = []
-        results: List[Any] = [None] * self.size
         for comm in comms:
             gen = fn(comm, *args, **kwargs)
             if not hasattr(gen, "send"):
@@ -125,28 +218,115 @@ class SimMpiRuntime:
                 )
             gens.append(gen)
 
-        alive = set(range(self.size))
-        while alive:
-            before = (self._consumed, self._posted, len(alive))
-            for rank in sorted(alive):
-                gen = gens[rank]
-                try:
-                    # Drive until the rank blocks (yields) or finishes.
-                    next(gen)
-                except StopIteration as stop:
-                    results[rank] = stop.value
-                    alive.discard(rank)
-            after = (self._consumed, self._posted, len(alive))
-            if alive and before == after:
-                blocked = ", ".join(str(r) for r in sorted(alive))
-                raise DeadlockError(
-                    f"no progress possible; ranks blocked: {blocked}"
-                )
+        kernel = self.kernel
+        tasks = [
+            Process(
+                kernel, gens[r], name=f"rank{r}",
+                on_block=self._make_on_block(r),
+                on_finish=self._make_on_finish(r),
+                on_error=self._make_on_error(r),
+            )
+            for r in range(self.size)
+        ]
+        self._tasks = tasks
+        self._comms = comms
+        try:
+            for r, task in enumerate(tasks):
+                kernel.trace("start", time=0.0, rank=r)
+                task.start(0.0)
+            kernel.run()
+            blocked = [r for r, t in enumerate(tasks) if t.alive]
+            if blocked:
+                raise self._deadlock_error(blocked)
+        finally:
+            self._tasks = None
+            self._comms = None
+            self._waiters.clear()
 
         clocks = tuple(c.clock for c in comms)
         return RunResult(
             elapsed_s=max(clocks) if clocks else 0.0,
             clocks=clocks,
-            results=tuple(results),
+            results=tuple(t.result for t in tasks),
             stats=tuple(c.stats for c in comms),
+            resumptions=sum(t.resumptions for t in tasks),
+            failed_ranks=tuple(
+                r for r, t in enumerate(tasks) if t.failed
+            ),
         )
+
+    # -- process callbacks -------------------------------------------------
+
+    def _make_on_block(self, rank: int):
+        def on_block(process: Process, yielded: Any) -> None:
+            if isinstance(yielded, RecvBlock):
+                self._waiters[rank] = (yielded, process)
+                self.kernel.trace(
+                    "block", time=self._comms[rank].clock, rank=rank,
+                    src=yielded.src, tag=yielded.tag,
+                )
+            else:
+                # A bare cooperative yield: stay runnable.
+                process.wake()
+        return on_block
+
+    def _make_on_finish(self, rank: int):
+        def on_finish(process: Process) -> None:
+            self.kernel.trace(
+                "finish", time=self._comms[rank].clock, rank=rank,
+            )
+        return on_finish
+
+    def _make_on_error(self, rank: int):
+        def on_error(process: Process, error: BaseException) -> bool:
+            if not isinstance(error, NodeFailureError):
+                return False
+            # An uncaught failure kills this rank (only): peers blocked
+            # on it are notified, everything else keeps running.
+            if rank not in self._failed:
+                self._failed[rank] = (self._comms[rank].clock, str(error))
+            self.kernel.trace(
+                "rank-dead", time=self._comms[rank].clock, rank=rank,
+                detail=str(error),
+            )
+            self._waiters.pop(rank, None)
+            for dst, (block, proc) in list(self._waiters.items()):
+                if block.src == rank:
+                    del self._waiters[dst]
+                    proc.wake()
+            return True
+        return on_error
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def _deadlock_error(self, blocked: List[int]) -> DeadlockError:
+        patterns: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        mailboxes: Dict[int, List[Tuple[int, int, int]]] = {}
+        lines = []
+        for rank in sorted(blocked):
+            entry = self._waiters.get(rank)
+            src, tag = (entry[0].src, entry[0].tag) if entry else (None, None)
+            patterns[rank] = (src, tag)
+            pending = [
+                (m.src, m.tag, m.nbytes)
+                for m in self._mailboxes.get(rank, [])
+            ]
+            mailboxes[rank] = pending
+            src_txt = "ANY" if src is ANY_SOURCE else str(src)
+            tag_txt = "any" if tag is None else str(tag)
+            if pending:
+                box_txt = ", ".join(
+                    f"(src={s}, tag={t}, {n}B)" for s, t, n in pending
+                )
+            else:
+                box_txt = "empty"
+            lines.append(
+                f"  rank {rank}: waiting on (src={src_txt}, tag={tag_txt});"
+                f" mailbox: {box_txt}"
+            )
+        message = (
+            "no progress possible; "
+            f"{len(blocked)} rank(s) blocked on receives that can never "
+            "match:\n" + "\n".join(lines)
+        )
+        return DeadlockError(message, blocked=patterns, mailboxes=mailboxes)

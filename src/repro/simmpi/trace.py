@@ -1,8 +1,20 @@
-"""Communication statistics collected per rank during a SimMPI run."""
+"""Per-rank statistics and the structured virtual-time event timeline.
+
+A SimMPI run on a tracing :class:`~repro.core.events.EventKernel`
+leaves behind one time-coherent list of
+:class:`~repro.core.events.TimelineEvent` records — rank starts, sends
+with their fabric-resolved arrival times, wakes, blocks, node failures,
+DVFS transitions and link/switch occupancy all on the same clock.
+:func:`render_timeline` turns that into the text view ``repro.cli
+timeline`` prints.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.events import TimelineEvent
 
 
 @dataclass
@@ -15,6 +27,7 @@ class CommStats:
     bytes_sent: int = 0
     bytes_received: int = 0
     compute_s: float = 0.0
+    energy_j: float = 0.0     # filled when a LongRun governor is attached
 
     @property
     def messages(self) -> int:
@@ -29,4 +42,54 @@ class CommStats:
             bytes_sent=self.bytes_sent + other.bytes_sent,
             bytes_received=self.bytes_received + other.bytes_received,
             compute_s=self.compute_s + other.compute_s,
+            energy_j=self.energy_j + other.energy_j,
         )
+
+
+def filter_timeline(events: Iterable[TimelineEvent],
+                    kinds: Optional[Sequence[str]] = None,
+                    rank: Optional[int] = None) -> List[TimelineEvent]:
+    """Time-ordered view of *events*, optionally by kind and/or rank."""
+    picked = [
+        e for e in events
+        if (kinds is None or e.kind in kinds)
+        and (rank is None or e.get("rank") == rank or e.get("src") == rank
+             or e.get("dst") == rank)
+    ]
+    picked.sort(key=lambda e: e.time)
+    return picked
+
+
+def _describe(event: TimelineEvent) -> str:
+    fields = event.as_dict()
+    parts = []
+    for key in ("rank", "src", "dst", "tag", "nbytes", "arrive", "mhz",
+                "volts", "detail", "resource"):
+        if key in fields:
+            value = fields[key]
+            if isinstance(value, float):
+                value = f"{value:.6g}"
+            parts.append(f"{key}={value}")
+    for key, value in fields.items():
+        if key not in ("rank", "src", "dst", "tag", "nbytes", "arrive",
+                       "mhz", "volts", "detail", "resource"):
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_timeline(events: Iterable[TimelineEvent],
+                    limit: Optional[int] = None,
+                    title: str = "Event timeline") -> str:
+    """Render events as a fixed-width virtual-time log."""
+    ordered = sorted(events, key=lambda e: e.time)
+    total = len(ordered)
+    if limit is not None:
+        ordered = ordered[:limit]
+    lines = [title, "=" * len(title)]
+    for event in ordered:
+        lines.append(
+            f"{event.time:>12.6f}s  {event.kind:<14} {_describe(event)}"
+        )
+    if limit is not None and total > limit:
+        lines.append(f"... ({total - limit} more events)")
+    return "\n".join(lines)

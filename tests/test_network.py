@@ -85,11 +85,12 @@ def test_switch_nonblocking_check():
 
 
 def test_star_topology_routing_and_times():
+    # post_time is the NIC-accept instant: the caller has already
+    # charged send overhead, so the wire cost starts right there.
     star = StarTopology(nodes=4)
     t = star.send(0, 1, nbytes=10_000, post_time=0.0)
     expected_min = (
-        FAST_ETHERNET_NIC.send_overhead_s
-        + FAST_ETHERNET.transfer_s(10_000)
+        FAST_ETHERNET.transfer_s(10_000)
         + FAST_ETHERNET_NIC.recv_overhead_s
     )
     assert t.arrive_time >= expected_min

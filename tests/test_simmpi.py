@@ -266,3 +266,77 @@ def test_runtime_validation():
         SimMpiRuntime(0)
     with pytest.raises(ValueError):
         SimMpiRuntime(8, fabric=IdealFabric(4))
+
+
+# -- payload sizing edge cases ------------------------------------------------
+
+def test_payload_sizes_numpy_scalars_and_empties():
+    # NumPy scalars take the fixed numeric cost, not the pickle path.
+    assert payload_nbytes(np.float64(1.5)) == 24
+    assert payload_nbytes(np.int32(7)) == 24
+    # Empty payloads still pay the header.
+    assert payload_nbytes(b"") == 16
+    assert payload_nbytes(bytearray()) == 16
+    assert payload_nbytes(np.empty(0)) == 16
+
+
+def test_payload_sizes_nested_containers_of_arrays():
+    # Containers of arrays go through pickle, which keeps the raw
+    # buffer bytes - the wire cost must never undercount the data.
+    nested = {"pos": np.zeros((4, 3)), "mass": [np.ones(4), np.ones(2)]}
+    raw_bytes = 4 * 3 * 8 + 4 * 8 + 2 * 8
+    assert payload_nbytes(nested) > raw_bytes
+
+    pair = (np.zeros(8), np.zeros(8))
+    assert payload_nbytes(pair) > 2 * 8 * 8 + 16
+
+
+# -- collective tag isolation -------------------------------------------------
+
+def test_back_to_back_collectives_use_distinct_tags():
+    from repro.simmpi.comm import RankComm
+
+    runtime = SimMpiRuntime(2, fabric=star_fabric(2))
+    comm = RankComm(0, 2, runtime)
+    first = comm._next_coll_tag(5)
+    second = comm._next_coll_tag(5)
+    assert first != second          # same kind, different call sites
+    assert first < 0 and second < 0  # reserved (negative) tag space
+
+
+def test_back_to_back_same_kind_collectives_do_not_cross_match():
+    def prog(comm):
+        # Skew entry times so ranks reach the second collective while
+        # others are still draining the first.
+        comm.compute(1e-3 * comm.rank)
+        first = yield from comm.allreduce(comm.rank)
+        second = yield from comm.allreduce(1)
+        gathered = yield from comm.allgather(("a", comm.rank))
+        regathered = yield from comm.allgather(("b", comm.rank))
+        return (first, second, gathered[0][0], regathered[0][0])
+
+    result = run(6, prog)
+    assert list(result.results) == [(15, 6, "a", "b")] * 6
+
+
+# -- posting semantics --------------------------------------------------------
+
+def test_send_overhead_charged_before_fabric_post():
+    from repro.network.nic import FAST_ETHERNET_NIC
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(1, b"x" * 100)
+            return comm.clock
+        data = yield from comm.recv(0)
+        return len(data)
+
+    fabric = star_fabric(2)
+    result = run(2, prog, fabric=fabric)
+    overhead = FAST_ETHERNET_NIC.send_overhead_s
+    # The fabric sees the message only at NIC-accept time: the host
+    # stack cost lands on the sender's clock before the transfer is
+    # timed, so post_time equals the post-overhead clock.
+    assert fabric.transfers[0].post_time == pytest.approx(overhead)
+    assert result.results[0] == pytest.approx(overhead)
+    assert result.results[1] == 100
