@@ -6,6 +6,8 @@ cross-checks the averaged downtime cost against the closed-form figures
 the TCO model uses.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -17,7 +19,8 @@ from repro.simmpi import SimMpiRuntime
 from repro.simmpi.comm import NodeFailureError
 
 HOURS = 35_040.0
-SEEDS = 25
+#: REPRO_BENCH_QUICK shrinks the Monte-Carlo ensemble (CI smoke mode).
+SEEDS = 8 if os.environ.get("REPRO_BENCH_QUICK") else 25
 
 
 def _study():

@@ -1,0 +1,127 @@
+"""Extension: batch-scheduler throughput — FCFS vs EASY backfill.
+
+Serves the same seeded 200-job stream on the 24-blade MetaBlade under
+both queue policies, with and without Poisson node-failure injection
+(accelerated MTBF, periodic checkpointing when failures are on), and
+archives the four accounting reports.  The claims checked:
+
+- backfill strictly beats FCFS utilization on a contended stream;
+- every injected failure ends as a requeued-and-completed or an
+  explicitly abandoned job (the accounting closes);
+- checkpointed reruns resume mid-job rather than from scratch.
+
+Set ``REPRO_BENCH_QUICK=1`` to run a 60-job stream (the CI smoke
+configuration).
+"""
+
+import os
+
+from repro.cluster.catalog import METABLADE
+from repro.core.system import BladedBeowulf
+from repro.metrics.report import format_table
+from repro.metrics.throughput import throughput_report
+from repro.sched import (
+    BatchScheduler,
+    JobState,
+    SchedConfig,
+    policy_by_name,
+    synthetic_stream,
+)
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+JOBS = 60 if QUICK else 200
+SEED = 2001
+INTERARRIVAL_S = 0.002
+MTBF_S = 0.04
+
+
+def _serve(policy_name: str, fail: bool):
+    machine = BladedBeowulf.metablade()
+    specs = synthetic_stream(
+        jobs=JOBS,
+        max_nodes=machine.cluster.nodes,
+        flop_rate=machine.node_flop_rate(),
+        seed=SEED,
+        mean_interarrival_s=INTERARRIVAL_S,
+    )
+    config = SchedConfig(checkpoint_every=1 if fail else None)
+    sched = BatchScheduler(
+        machine=machine, policy=policy_by_name(policy_name), config=config
+    )
+    sched.submit_stream(specs)
+    if fail:
+        horizon = specs[-1].arrival_s + JOBS * INTERARRIVAL_S
+        sched.inject_poisson_failures(horizon, MTBF_S, seed=SEED + 1)
+    outcome = sched.run()
+    return outcome, throughput_report(outcome, METABLADE)
+
+
+def _study():
+    results = {}
+    for policy in ("fcfs", "backfill"):
+        for fail in (False, True):
+            results[(policy, fail)] = _serve(policy, fail)
+    return results
+
+
+def test_sched_throughput_fcfs_vs_backfill(benchmark, archive):
+    results = benchmark.pedantic(_study, rounds=1, iterations=1)
+
+    rows = []
+    for (policy, fail), (outcome, report) in sorted(results.items()):
+        rows.append(
+            [
+                f"{policy}{' + failures' if fail else ''}",
+                report.completed,
+                report.abandoned,
+                round(report.makespan_s, 3),
+                round(report.utilization, 3),
+                round(report.mean_wait_s, 4),
+                report.failures,
+                round(report.operational_gflops, 3),
+            ]
+        )
+    text = format_table(
+        ["Scenario", "Done", "Given up", "Makespan (s)", "Utilization",
+         "Mean wait (s)", "Kills", "Op. Gflops"],
+        rows,
+        title=(
+            f"Batch throughput on MetaBlade: {JOBS} jobs, "
+            "FCFS vs EASY backfill"
+        ),
+    )
+    reports = "\n\n".join(
+        report.format() for _, (__, report) in sorted(results.items())
+    )
+    archive("sched_throughput", text + "\n\n" + reports)
+
+    # Backfill strictly beats FCFS on the contended failure-free stream.
+    fcfs = results[("fcfs", False)][1]
+    easy = results[("backfill", False)][1]
+    assert fcfs.completed == easy.completed == JOBS
+    assert easy.utilization > fcfs.utilization
+    assert easy.makespan_s < fcfs.makespan_s
+
+    # With failures on, the accounting closes: every kill became a
+    # requeue or the terminal failure of an abandoned job, and every
+    # job reached a terminal state.
+    for policy in ("fcfs", "backfill"):
+        outcome, report = results[(policy, True)]
+        assert report.failures > 0
+        assert report.failures == report.requeues + report.abandoned
+        for record in outcome.records:
+            assert record.state in (JobState.COMPLETED, JobState.ABANDONED)
+        # Checkpointing produced at least one genuine mid-job resume.
+        resumed = [
+            a for r in outcome.records for a in r.attempts
+            if a.start_unit > 0
+        ]
+        assert report.checkpoints > 0
+        assert resumed
+        assert report.lost_cpu_h > 0
+
+    # Failures cost throughput relative to the healthy run.
+    assert (
+        results[("backfill", True)][1].makespan_s
+        >= results[("backfill", False)][1].makespan_s
+    )

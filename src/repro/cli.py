@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli green500             # Top500 vs Green500 ranking
     python -m repro.cli timeline --ranks 6   # the unified event timeline
     python -m repro.cli timeline --fail-rank 2 --fail-at 0.05
+    python -m repro.cli sched --jobs 200 --policy backfill --fail-inject
     python -m repro.cli all                  # everything (minutes)
 """
 
@@ -46,7 +47,8 @@ def _cmd_table1(_args) -> None:
 
 def _cmd_table2(args) -> None:
     result = experiment_table2(
-        n=args.particles, steps=1, cpu_counts=tuple(args.cpus)
+        n=args.particles, steps=1, cpu_counts=tuple(args.cpus),
+        seed=args.seed,
     )
     print(result.text)
 
@@ -74,7 +76,7 @@ def _cmd_table7(_args) -> None:
 def _cmd_fig3(args) -> None:
     exp, _, art = experiment_fig3(
         SimConfig(
-            n=args.particles, steps=2, ic="collision",
+            n=args.particles, steps=2, ic="collision", seed=args.seed,
             theta=0.7, softening=1e-2,
         )
     )
@@ -90,8 +92,52 @@ def _cmd_timeline(args) -> None:
         fail_rank=args.fail_rank,
         fail_at_s=args.fail_at,
         limit=args.limit,
+        seed=args.seed,
     )
     print(result.text)
+
+
+def _cmd_sched(args) -> None:
+    from repro.cluster.catalog import METABLADE
+    from repro.metrics.throughput import throughput_report
+    from repro.sched import (
+        BatchScheduler,
+        SchedConfig,
+        policy_by_name,
+        render_gantt,
+        synthetic_stream,
+    )
+
+    machine = BladedBeowulf.metablade()
+    specs = synthetic_stream(
+        jobs=args.jobs,
+        max_nodes=machine.cluster.nodes,
+        flop_rate=machine.node_flop_rate(),
+        seed=args.seed,
+        mean_interarrival_s=args.interarrival,
+    )
+    config = SchedConfig(
+        checkpoint_every=args.checkpoint if args.checkpoint > 0 else None,
+        max_retries=args.max_retries,
+    )
+    sched = BatchScheduler(
+        machine=machine, policy=policy_by_name(args.policy), config=config
+    )
+    sched.submit_stream(specs)
+    if args.fail_inject:
+        horizon = specs[-1].arrival_s + args.jobs * args.interarrival
+        sched.inject_poisson_failures(
+            horizon_s=horizon, mtbf_s=args.mtbf, seed=args.seed + 1
+        )
+    outcome = sched.run()
+    print(
+        render_gantt(
+            outcome.allocator.intervals, outcome.nodes,
+            outcome.makespan_s, width=args.width,
+        )
+    )
+    print()
+    print(throughput_report(outcome, METABLADE).format())
 
 
 def _cmd_topper(_args) -> None:
@@ -155,6 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
     p2.add_argument("--particles", type=int, default=4000)
     p2.add_argument("--cpus", type=int, nargs="+",
                     default=[1, 2, 4, 8, 16, 24])
+    p2.add_argument("--seed", type=int, default=2001,
+                    help="initial-conditions RNG seed")
     p3 = sub.add_parser("table3", help="NPB single-CPU Mops")
     p3.add_argument("--npb-class", default="S", choices=["T", "S", "W"])
     sub.add_parser("table4", help="treecode history ladder")
@@ -163,6 +211,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table7", help="performance/power")
     pf = sub.add_parser("fig3", help="the flagship N-body run")
     pf.add_argument("--particles", type=int, default=4000)
+    pf.add_argument("--seed", type=int, default=2001,
+                    help="initial-conditions RNG seed")
     sub.add_parser("topper", help="the ToPPeR headline claim")
     sub.add_parser("green500", help="Top500 vs Green500 rankings")
     pt = sub.add_parser(
@@ -176,10 +226,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="inject a node failure into this rank")
     pt.add_argument("--fail-at", type=float, default=0.0,
                     help="virtual time (s) of the injected failure")
+    pt.add_argument("--seed", type=int, default=2001,
+                    help="initial-conditions RNG seed")
+    ps = sub.add_parser(
+        "sched", help="serve a batch job stream on the 24-blade machine"
+    )
+    ps.add_argument("--jobs", type=int, default=60,
+                    help="jobs in the synthetic Poisson stream")
+    ps.add_argument("--policy", default="fcfs",
+                    choices=["fcfs", "backfill", "easy"])
+    ps.add_argument("--seed", type=int, default=2001,
+                    help="stream (and failure) RNG seed")
+    ps.add_argument("--interarrival", type=float, default=0.004,
+                    help="mean virtual seconds between arrivals")
+    ps.add_argument("--fail-inject", action="store_true",
+                    help="inject Poisson node failures during the run")
+    ps.add_argument("--mtbf", type=float, default=0.05,
+                    help="accelerated MTBF (virtual s) for --fail-inject")
+    ps.add_argument("--checkpoint", type=int, default=0,
+                    help="checkpoint every N units (0 disables)")
+    ps.add_argument("--max-retries", type=int, default=3,
+                    help="requeues before a killed job is abandoned")
+    ps.add_argument("--width", type=int, default=72,
+                    help="Gantt chart width in columns")
     pa = sub.add_parser("all", help="everything (takes minutes)")
     pa.add_argument("--particles", type=int, default=3000)
     pa.add_argument("--cpus", type=int, nargs="+", default=[1, 4, 24])
     pa.add_argument("--npb-class", default="S")
+    pa.add_argument("--seed", type=int, default=2001)
     return parser
 
 
@@ -194,6 +268,7 @@ _HANDLERS = {
     "table7": _cmd_table7,
     "fig3": _cmd_fig3,
     "timeline": _cmd_timeline,
+    "sched": _cmd_sched,
     "topper": _cmd_topper,
     "green500": _cmd_green500,
     "all": _cmd_all,

@@ -117,9 +117,17 @@ class OperationReport:
 
     @property
     def availability(self) -> float:
+        """Fraction of offered CPU-hours delivered, clamped to [0, 1].
+
+        Zero-hour runs are perfectly available by convention, and a
+        whole-cluster blast radius on a short window can lose more
+        CPU-hours than the window offered — that is 0% availability,
+        not a negative one.
+        """
         if self.total_cpu_hours <= 0:
             return 1.0
-        return 1.0 - self.lost_cpu_hours / self.total_cpu_hours
+        fraction = 1.0 - self.lost_cpu_hours / self.total_cpu_hours
+        return min(1.0, max(0.0, fraction))
 
     def downtime_cost(self, usd_per_cpu_hour: float = 5.0) -> float:
         return self.lost_cpu_hours * usd_per_cpu_hour
@@ -159,9 +167,15 @@ class ClusterOperationSim:
         sequence (gap, node, gap, node, ...) matches the pre-kernel
         loop, so seeded results are unchanged.
         """
-        if hours <= 0:
-            raise ValueError("hours must be positive")
+        if hours < 0:
+            raise ValueError("hours cannot be negative")
         hub = ManagementHub.for_packaging(self.cluster.packaging)
+        if hours == 0:
+            # Zero-hour window: nothing can fail, report is empty.
+            return OperationReport(
+                hours=0.0, nodes=self.cluster.nodes, failures=0,
+                lost_cpu_hours=0.0, hub=hub,
+            )
         kernel = kernel if kernel is not None else EventKernel()
         counters = {"failures": 0, "lost": 0.0}
         affected = self.cluster.nodes if self.profile.whole_cluster else 1

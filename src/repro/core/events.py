@@ -26,6 +26,13 @@ fires at ``now``.  That is the standard conservative compromise for
 cooperative SPMD simulation: causal order is enforced where it matters
 (message delivery, failures, DVFS steps), while pure local compute is
 charged without a kernel round-trip.
+
+The kernel is deliberately multi-tenant: any number of process
+families — several SimMPI worlds, a failure injector, the batch
+scheduler of :mod:`repro.sched` — may coexist on one clock.  Events
+from different tenants interleave purely by ``(time, insertion)``
+order, so concurrent jobs dispatched by the workload manager stay
+deterministic for a given seed.
 """
 
 from __future__ import annotations
@@ -105,6 +112,17 @@ class EventKernel:
     def pending(self) -> int:
         """Live (non-cancelled) events still queued."""
         return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def idle(self) -> bool:
+        """True when no live event remains (the clock cannot advance).
+
+        Schedulers use this after :meth:`run` to tell "drained because
+        everything completed" from "drained with work still queued" —
+        the latter means some tenant is stuck waiting on an event
+        nobody will ever post.
+        """
+        return self._next_time() == float("inf")
 
     # -- the loop ----------------------------------------------------------
 
@@ -234,10 +252,15 @@ class Process:
                 self.on_finish(self)
             return
         except BaseException as error:  # noqa: BLE001 - scheduler boundary
+            # Mark the death *before* consulting on_error: the handler
+            # may finalize an enclosing world and must see this process
+            # as failed (not still alive).  Unhandled errors un-mark.
+            self.failed = True
+            self.failure = error
             if self.on_error is not None and self.on_error(self, error):
-                self.failed = True
-                self.failure = error
                 return
+            self.failed = False
+            self.failure = None
             raise
         if self.on_block is not None:
             self.on_block(self, yielded)

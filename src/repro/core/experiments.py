@@ -98,9 +98,10 @@ def experiment_table2(
     steps: int = 1,
     cpu_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 24),
     ideal_network: bool = False,
+    seed: int = 2001,
 ) -> ExperimentResult:
     machine = BladedBeowulf.metablade()
-    config = SimConfig(n=n, steps=steps, theta=0.7, softening=1e-2)
+    config = SimConfig(n=n, steps=steps, seed=seed, theta=0.7, softening=1e-2)
     points = machine.nbody_scaling(
         config, cpu_counts, ideal_network=ideal_network
     )
@@ -321,6 +322,7 @@ def experiment_timeline(
     fail_rank: Optional[int] = None,
     fail_at_s: float = 0.0,
     limit: Optional[int] = 48,
+    seed: int = 2001,
 ) -> ExperimentResult:
     """One treecode step on MetaBlade with the event kernel recording.
 
@@ -339,7 +341,7 @@ def experiment_timeline(
     runtime = machine.mpi_runtime(ranks, kernel=kernel)
     if fail_rank is not None:
         runtime.fail_at(fail_at_s, fail_rank, detail="injected")
-    config = SimConfig(n=n, steps=1, theta=0.7, softening=1e-2)
+    config = SimConfig(n=n, steps=1, seed=seed, theta=0.7, softening=1e-2)
     run = run_parallel_nbody(
         config, ranks, machine.node_flop_rate(), runtime=runtime
     )

@@ -50,6 +50,11 @@ class PowerModel:
     def energy_kwh(self, hours: float) -> float:
         return self.total_watts * hours / 1000.0
 
+    def energy_joules(self, seconds: float) -> float:
+        """Wall energy over *seconds* at load (virtual-time currency:
+        the batch scheduler bills job energy straight off rank clocks)."""
+        return self.total_watts * seconds
+
     def energy_cost(self, hours: float, dollars_per_kwh: float = 0.10) -> float:
         return self.energy_kwh(hours) * dollars_per_kwh
 

@@ -25,11 +25,13 @@ from repro.metrics.ratios import (
     perf_space_table,
 )
 from repro.metrics.report import format_table
+from repro.metrics.throughput import ThroughputReport, throughput_report
 
 __all__ = [
     "CostParameters",
     "DEFAULT_COSTS",
     "TcoBreakdown",
+    "ThroughputReport",
     "ToPPeR",
     "format_table",
     "paper_headline_claim",
@@ -37,6 +39,7 @@ __all__ = [
     "perf_space_table",
     "tco_for",
     "tco_table",
+    "throughput_report",
     "topper",
     "topper_advantage",
 ]

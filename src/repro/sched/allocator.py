@@ -1,0 +1,149 @@
+"""Blade allocation: occupancy, failures, and the Gantt interval log.
+
+The allocator owns the cluster's blades as schedulable slots.  A blade
+is *free*, *busy* (running a job's rank), or *down* (failed, awaiting
+repair).  Placement is lowest-index first-fit, which on the RLX
+packaging means chassis-affine: blades 0..23 share the MetaBlade
+chassis, so co-scheduled ranks land on neighbouring slots the way the
+management hub sees them.
+
+Every state change appends to an interval log — ``(blade, t0, t1,
+kind, label)`` — which is simultaneously the utilization ledger and
+the data behind :func:`repro.sched.gantt.render_gantt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BladeInterval:
+    """One closed interval of a blade's history."""
+
+    blade: int
+    start_s: float
+    end_s: float
+    kind: str                    # "busy" | "down"
+    label: str = ""              # job id for busy, detail for down
+
+
+class BladeAllocator:
+    """Tracks which blades a job holds and what every blade is doing."""
+
+    def __init__(self, nodes: int) -> None:
+        if nodes < 1:
+            raise ValueError("need at least one blade")
+        self.nodes = nodes
+        self._free = set(range(nodes))
+        self._down = set()
+        self._job_blades: Dict[int, Tuple[int, ...]] = {}
+        self._blade_job: Dict[int, int] = {}
+        self._open: Dict[int, Tuple[float, str, str]] = {}
+        self.intervals: List[BladeInterval] = []
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def down_count(self) -> int:
+        return len(self._down)
+
+    def blades_of(self, job_id: int) -> Tuple[int, ...]:
+        return self._job_blades.get(job_id, ())
+
+    def job_on(self, blade: int) -> Optional[int]:
+        return self._blade_job.get(blade)
+
+    def is_down(self, blade: int) -> bool:
+        return blade in self._down
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate(self, job_id: int, nodes: int,
+                 now: float) -> Tuple[int, ...]:
+        """Claim *nodes* blades for *job_id* (lowest index first)."""
+        if job_id in self._job_blades:
+            raise ValueError(f"job {job_id} already holds blades")
+        if nodes > len(self._free):
+            raise ValueError(
+                f"job {job_id} wants {nodes} blades, {len(self._free)} free"
+            )
+        blades = tuple(sorted(self._free)[:nodes])
+        for blade in blades:
+            self._free.remove(blade)
+            self._blade_job[blade] = job_id
+            self._open[blade] = (now, "busy", str(job_id))
+        self._job_blades[job_id] = blades
+        return blades
+
+    def release(self, job_id: int, now: float) -> Tuple[int, ...]:
+        """Return a job's blades; down blades stay down."""
+        blades = self._job_blades.pop(job_id, ())
+        for blade in blades:
+            self._blade_job.pop(blade, None)
+            self._close(blade, now)
+            if blade not in self._down:
+                self._free.add(blade)
+        return blades
+
+    # -- failures ----------------------------------------------------------
+
+    def mark_down(self, blade: int, now: float, detail: str = "") -> None:
+        """Take a blade out of service (caller kills any resident job)."""
+        if not 0 <= blade < self.nodes:
+            raise ValueError(f"blade {blade} outside 0..{self.nodes - 1}")
+        if blade in self._down:
+            return
+        self._down.add(blade)
+        self._free.discard(blade)
+        if blade not in self._blade_job:
+            # Idle blade: open its down interval immediately.  A busy
+            # blade's down interval opens when its job releases it.
+            self._close(blade, now)
+            self._open[blade] = (now, "down", detail)
+
+    def mark_up(self, blade: int, now: float) -> None:
+        """Repair: the blade rejoins the free pool."""
+        if blade not in self._down:
+            return
+        self._down.remove(blade)
+        if blade in self._blade_job:      # job still draining its kill
+            return
+        self._close(blade, now)
+        self._free.add(blade)
+
+    # -- the interval log ---------------------------------------------------
+
+    def _close(self, blade: int, now: float) -> None:
+        opened = self._open.pop(blade, None)
+        if opened is None:
+            return
+        start, kind, label = opened
+        if now > start:
+            self.intervals.append(
+                BladeInterval(blade, start, now, kind, label)
+            )
+        if kind == "busy" and blade in self._down:
+            # The blade died while busy: its outage continues.
+            self._open[blade] = (now, "down", label)
+
+    def finish(self, now: float) -> None:
+        """Close every open interval at the end of the simulation."""
+        for blade in list(self._open):
+            self._close(blade, now)
+            self._open.pop(blade, None)
+
+    def busy_node_seconds(self) -> float:
+        return sum(
+            i.end_s - i.start_s for i in self.intervals if i.kind == "busy"
+        )
+
+    def down_node_seconds(self) -> float:
+        return sum(
+            i.end_s - i.start_s for i in self.intervals if i.kind == "down"
+        )

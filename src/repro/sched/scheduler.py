@@ -1,0 +1,466 @@
+"""The event-driven batch dispatcher.
+
+One :class:`BatchScheduler` owns a shared :class:`EventKernel` and
+turns the cluster into a multi-tenant machine: every job runs as a
+SimMPI world of event-kernel processes launched mid-stream on that
+shared virtual clock, so a 2-blade microkernel sweep genuinely
+interleaves with a 12-blade treecode on the same timeline.
+
+Lifecycle of a job::
+
+    submit --> arrival event --> queue --(policy.pick)--> start
+          --> world completes --> finish event at the job's virtual
+              end time --> blades released, next dispatch round
+
+Node failures arrive as events too: the victim blade goes down, the
+management hub logs the fault, the resident job's world is killed
+(every rank raises :class:`NodeFailureError`) and the job is requeued
+— resuming from its last complete checkpoint when the config enables
+checkpointing — or abandoned once it has burned ``max_retries``
+retries.  All of it lands in the per-job :class:`JobRecord` ledger
+and the allocator's blade intervals, which together feed
+:mod:`repro.metrics.throughput`.
+
+A compromise worth knowing about: SimMPI rank clocks may run ahead of
+the kernel clock between message events (compute time is billed
+lazily).  The dispatcher therefore defers each job's completion to
+its *virtual* end time (``start + elapsed``) before releasing blades,
+and prunes checkpoints whose write finished after a kill time, so the
+shared timeline stays causally consistent.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.management import EventKind, ManagementEvent, ManagementHub
+from repro.core.events import EventKernel
+from repro.core.system import BladedBeowulf
+from repro.cpus.power import PowerModel
+from repro.network.timing import star_fabric
+from repro.sched.allocator import BladeAllocator
+from repro.sched.job import Attempt, JobRecord, JobSpec, JobState
+from repro.sched.policy import Policy, QueuedJob, RunningJob
+from repro.sched.workloads import JobContext
+from repro.simmpi import SimMpiRuntime
+
+
+def _payload_nbytes(state: Any) -> int:
+    """Approximate serialized size of one rank's checkpoint state."""
+    if state is None:
+        return 0
+    if hasattr(state, "nbytes"):
+        return int(state.nbytes)
+    if isinstance(state, (tuple, list)):
+        return 64 + sum(_payload_nbytes(item) for item in state)
+    if isinstance(state, bytes):
+        return len(state)
+    return 64
+
+
+@dataclass(frozen=True)
+class SchedConfig:
+    """Operational knobs of the batch system."""
+
+    #: Units between checkpoints; ``None`` disables checkpointing.
+    checkpoint_every: Optional[int] = None
+    #: Checkpoint write path: latency plus bytes over bandwidth.
+    checkpoint_latency_s: float = 5e-3
+    checkpoint_bandwidth_bps: float = 50e6
+    #: Requeues granted before a job is abandoned.
+    max_retries: int = 3
+    #: Virtual seconds a failed blade stays down before repair.
+    repair_s: float = 0.5
+
+    def checkpoint_io_s(self, nbytes: int) -> float:
+        return self.checkpoint_latency_s + nbytes / self.checkpoint_bandwidth_bps
+
+
+@dataclass
+class SchedOutcome:
+    """What one scheduling run produced, ready for the metrics layer."""
+
+    policy: str
+    nodes: int
+    flop_rate: float
+    records: List[JobRecord]
+    allocator: BladeAllocator
+    hub: ManagementHub
+    makespan_s: float
+    failures_injected: int = 0
+
+    @property
+    def completed(self) -> List[JobRecord]:
+        return [r for r in self.records if r.state is JobState.COMPLETED]
+
+    @property
+    def abandoned(self) -> List[JobRecord]:
+        return [r for r in self.records if r.state is JobState.ABANDONED]
+
+
+@dataclass
+class _QueueEntry:
+    """Queue position: FCFS order is (original arrival, job id)."""
+
+    key: Tuple[float, int]
+    record: JobRecord
+    ready_s: float               # arrival or most recent requeue time
+
+    def __lt__(self, other: "_QueueEntry") -> bool:
+        return self.key < other.key
+
+
+@dataclass
+class _RunningJob:
+    record: JobRecord
+    runtime: SimMpiRuntime
+    blades: Tuple[int, ...]
+    attempt: Attempt
+    #: Partial checkpoints: unit -> {rank: (state, rank clock)}.
+    pending: Dict[int, Dict[int, Tuple[Any, float]]] = field(
+        default_factory=dict
+    )
+    killed_at: Optional[float] = None
+    killed_by_blade: Optional[int] = None
+
+
+class BatchScheduler:
+    """Queue + allocator + dispatcher over one shared virtual clock."""
+
+    def __init__(self, machine: Optional[BladedBeowulf] = None,
+                 policy: Optional[Policy] = None,
+                 config: Optional[SchedConfig] = None,
+                 kernel: Optional[EventKernel] = None,
+                 record_timeline: bool = False) -> None:
+        from repro.sched.policy import Fcfs
+
+        self.machine = machine if machine is not None else BladedBeowulf.metablade()
+        self.policy = policy if policy is not None else Fcfs()
+        self.config = config if config is not None else SchedConfig()
+        self.kernel = kernel if kernel is not None else EventKernel(
+            record_timeline=record_timeline
+        )
+        self.nodes = self.machine.cluster.nodes
+        self.flop_rate = self.machine.node_flop_rate()
+        self.allocator = BladeAllocator(self.nodes)
+        self.hub = ManagementHub.for_packaging(self.machine.cluster.packaging)
+        self.power = PowerModel.for_spec(self.machine.processor.spec)
+        self.records: Dict[int, JobRecord] = {}
+        self.failures_injected = 0
+        self._queue: List[_QueueEntry] = []
+        self._running: Dict[int, _RunningJob] = {}
+        #: Complete checkpoints: job id -> [(unit, states, write-done clock)].
+        self._checkpoints: Dict[int, List[Tuple[int, Tuple[Any, ...], float]]] = {}
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        if spec.job_id in self.records:
+            raise ValueError(f"duplicate job id {spec.job_id}")
+        if spec.nodes > self.nodes:
+            raise ValueError(
+                f"job {spec.job_id} wants {spec.nodes} of {self.nodes} blades"
+            )
+        record = JobRecord(spec=spec)
+        self.records[spec.job_id] = record
+        self.kernel.at(spec.arrival_s, self._arrive, record)
+        return record
+
+    def submit_stream(self, specs: Sequence[JobSpec]) -> List[JobRecord]:
+        return [self.submit(spec) for spec in specs]
+
+    # -- failure injection --------------------------------------------------
+
+    def inject_failure(self, time_s: float, blade: int,
+                       detail: str = "injected fault") -> None:
+        """Schedule a blade failure at a virtual time."""
+        if not 0 <= blade < self.nodes:
+            raise ValueError(f"blade {blade} outside 0..{self.nodes - 1}")
+        self.failures_injected += 1
+        self.kernel.at(time_s, self._node_fail, blade, detail)
+
+    def inject_poisson_failures(self, horizon_s: float, mtbf_s: float,
+                                seed: int = 0) -> List[Tuple[float, int]]:
+        """Draw a Poisson fault process over the horizon (accelerated MTBF).
+
+        Job runtimes here are virtual *seconds*, so the per-hour outage
+        profiles of :mod:`repro.cluster.reliability` would never fire;
+        the bench compresses MTBF to seconds instead.
+        """
+        if mtbf_s <= 0:
+            raise ValueError("MTBF must be positive")
+        rng = random.Random(seed)
+        t = 0.0
+        plan: List[Tuple[float, int]] = []
+        while True:
+            t += rng.expovariate(1.0 / mtbf_s)
+            if t >= horizon_s:
+                break
+            blade = rng.randrange(self.nodes)
+            plan.append((t, blade))
+            self.inject_failure(t, blade)
+        return plan
+
+    # -- the run loop -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SchedOutcome:
+        """Drive the kernel until every event has fired, then settle up."""
+        self.kernel.run(until)
+        if until is None:
+            stuck = [
+                r.spec.job_id for r in self.records.values()
+                if r.state in (JobState.QUEUED, JobState.RUNNING)
+            ]
+            if stuck:
+                worlds = {
+                    job_id: run.runtime.unfinished_ranks()
+                    for job_id, run in self._running.items()
+                }
+                raise RuntimeError(
+                    f"scheduler wedged with non-terminal jobs {stuck}; "
+                    f"unfinished ranks per running world: {worlds}"
+                )
+        ends = [r.end_s for r in self.records.values() if r.end_s is not None]
+        makespan = max(ends) if ends else self.kernel.now
+        self.allocator.finish(makespan)
+        return SchedOutcome(
+            policy=self.policy.name,
+            nodes=self.nodes,
+            flop_rate=self.flop_rate,
+            records=[self.records[k] for k in sorted(self.records)],
+            allocator=self.allocator,
+            hub=self.hub,
+            makespan_s=makespan,
+            failures_injected=self.failures_injected,
+        )
+
+    # -- event handlers -----------------------------------------------------
+
+    def _arrive(self, record: JobRecord) -> None:
+        now = self.kernel.now
+        self.kernel.trace(
+            "job-arrive", job=record.spec.job_id, nodes=record.spec.nodes
+        )
+        self._enqueue(record, now)
+        self._dispatch()
+
+    def _enqueue(self, record: JobRecord, ready_s: float) -> None:
+        record.state = JobState.QUEUED
+        entry = _QueueEntry(
+            key=(record.spec.arrival_s, record.spec.job_id),
+            record=record,
+            ready_s=ready_s,
+        )
+        insort(self._queue, entry)
+
+    def _dispatch(self) -> None:
+        if not self._queue:
+            return
+        now = self.kernel.now
+        queue_view = [
+            QueuedJob(
+                job_id=e.record.spec.job_id,
+                nodes=e.record.spec.nodes,
+                est_runtime_s=e.record.spec.walltime_est_s,
+            )
+            for e in self._queue
+        ]
+        running_view = [
+            RunningJob(
+                job_id=run.record.spec.job_id,
+                nodes=run.record.spec.nodes,
+                est_end_s=run.attempt.start_s + run.record.spec.walltime_est_s,
+            )
+            for run in self._running.values()
+        ]
+        picked = self.policy.pick(
+            queue_view, self.allocator.free_count, now, running_view
+        )
+        if not picked:
+            return
+        chosen = {q.job_id for q in picked}
+        starting = [e for e in self._queue if e.record.spec.job_id in chosen]
+        self._queue = [
+            e for e in self._queue if e.record.spec.job_id not in chosen
+        ]
+        for entry in starting:
+            self._start(entry, now)
+
+    def _start(self, entry: _QueueEntry, now: float) -> None:
+        record = entry.record
+        spec = record.spec
+        blades = self.allocator.allocate(spec.job_id, spec.nodes, now)
+        record.wait_s += now - entry.ready_s
+        start_unit, states = self._restore_point(spec.job_id)
+        attempt = Attempt(start_s=now, start_unit=start_unit)
+        record.attempts.append(attempt)
+        record.state = JobState.RUNNING
+        runtime = SimMpiRuntime(
+            spec.nodes,
+            fabric=star_fabric(spec.nodes),
+            flop_rate=self.flop_rate,
+            kernel=self.kernel,
+        )
+        running = _RunningJob(
+            record=record, runtime=runtime, blades=blades, attempt=attempt
+        )
+        self._running[spec.job_id] = running
+        ctx = JobContext(
+            start_unit=start_unit,
+            states=states,
+            on_unit=lambda comm, unit, state: self._on_unit(
+                running, comm, unit, state
+            ),
+        )
+        program = spec.workload.make_program(self.flop_rate, spec.nodes, ctx)
+        self.kernel.trace(
+            "job-start", job=spec.job_id, nodes=spec.nodes,
+            blades=",".join(str(b) for b in blades), unit=start_unit,
+        )
+        runtime.launch(
+            program,
+            start_time=now,
+            on_complete=lambda result: self._world_done(running, result),
+        )
+
+    def _world_done(self, running: _RunningJob, result) -> None:
+        """The job's world finalized; settle at its *virtual* end time.
+
+        Rank clocks run ahead of the kernel clock, so the last message
+        event (= now) can precede the job's true end.  Blades stay held
+        and accounting waits until the virtual end so a successor can
+        never overlap this job on the Gantt chart.
+        """
+        if running.killed_at is not None:
+            end = running.killed_at
+        else:
+            end = result.start_time_s + result.elapsed_s
+        self.kernel.at(max(end, self.kernel.now), self._finish, running, result)
+
+    def _finish(self, running: _RunningJob, result) -> None:
+        now = self.kernel.now
+        record = running.record
+        spec = record.spec
+        self._running.pop(spec.job_id, None)
+        self.allocator.release(spec.job_id, now)
+        running.attempt.end_s = now
+        duration = now - running.attempt.start_s
+        record.energy_j += spec.nodes * self.power.energy_joules(duration)
+        if running.killed_at is None:
+            record.state = JobState.COMPLETED
+            record.end_s = now
+            record.result = result.results[0] if result.results else None
+            record.compute_s += sum(s.compute_s for s in result.stats)
+            self._checkpoints.pop(spec.job_id, None)
+            self.kernel.trace("job-complete", job=spec.job_id)
+        else:
+            self._settle_kill(running, now)
+        self._dispatch()
+
+    def _settle_kill(self, running: _RunningJob, now: float) -> None:
+        record = running.record
+        spec = record.spec
+        running.attempt.killed_by_node = running.killed_by_blade
+        # Checkpoints whose write outran the kill never hit stable
+        # storage; drop them before picking the restore point.
+        kept = [
+            c for c in self._checkpoints.get(spec.job_id, ())
+            if c[2] <= now
+        ]
+        if kept:
+            self._checkpoints[spec.job_id] = kept
+        else:
+            self._checkpoints.pop(spec.job_id, None)
+        salvage = max(
+            [running.attempt.start_s] + [c[2] for c in kept]
+        )
+        record.lost_cpu_s += (now - salvage) * spec.nodes
+        if record.failures > self.config.max_retries:
+            record.state = JobState.ABANDONED
+            record.end_s = now
+            self.kernel.trace(
+                "job-abandon", job=spec.job_id, failures=record.failures
+            )
+        else:
+            record.requeues += 1
+            self._enqueue(record, now)
+            self.kernel.trace(
+                "job-requeue", job=spec.job_id,
+                unit=self._restore_point(spec.job_id)[0],
+            )
+
+    def _node_fail(self, blade: int, detail: str) -> None:
+        now = self.kernel.now
+        time_h = now / 3600.0
+        self.hub.record(ManagementEvent(time_h, EventKind.FAILURE, blade, detail))
+        self.hub.record(
+            ManagementEvent(
+                time_h + self.hub.detection_latency_h,
+                EventKind.DETECTED, blade, detail,
+            )
+        )
+        self.kernel.trace("node-down", node=blade, detail=detail)
+        job_id = self.allocator.job_on(blade)
+        self.allocator.mark_down(blade, now, detail)
+        self.kernel.at(now + self.config.repair_s, self._node_repair, blade)
+        if job_id is None:
+            return
+        running = self._running.get(job_id)
+        if running is None or running.killed_at is not None:
+            return
+        victim_rank = running.blades.index(blade)
+        killed = running.runtime.kill_all(victim_rank, now, detail=detail)
+        if killed == 0:
+            # The world already finalized (its last event fired at or
+            # before now); the job completed before the blade died.
+            return
+        running.killed_at = now
+        running.killed_by_blade = blade
+        running.record.failures += 1
+
+    def _node_repair(self, blade: int) -> None:
+        self.allocator.mark_up(blade, self.kernel.now)
+        self.kernel.trace("node-up", node=blade)
+        self._dispatch()
+
+    # -- checkpointing ------------------------------------------------------
+
+    def _restore_point(
+        self, job_id: int
+    ) -> Tuple[int, Optional[Tuple[Any, ...]]]:
+        checkpoints = self._checkpoints.get(job_id)
+        if not checkpoints:
+            return 0, None
+        unit, states, _clock = max(checkpoints, key=lambda c: c[0])
+        return unit, states
+
+    def _on_unit(self, running: _RunningJob, comm, unit: int,
+                 state: Any) -> None:
+        record = running.record
+        spec = record.spec
+        workload = spec.workload
+        every = self.config.checkpoint_every
+        done = unit + 1
+        if (
+            every is None or state is None or not workload.checkpointable
+            or done >= workload.units or done % every
+        ):
+            return
+        io_s = self.config.checkpoint_io_s(_payload_nbytes(state))
+        comm.stall(io_s)
+        record.checkpoint_io_s += io_s
+        pending = running.pending.setdefault(done, {})
+        pending[comm.rank] = (state, comm.clock)
+        if len(pending) < spec.nodes:
+            return
+        states = tuple(pending[r][0] for r in range(spec.nodes))
+        write_done = max(clock for _, clock in pending.values())
+        self._checkpoints.setdefault(spec.job_id, []).append(
+            (done, states, write_done)
+        )
+        record.checkpoints += 1
+        del running.pending[done]
+        self.kernel.trace("checkpoint", job=spec.job_id, unit=done)

@@ -109,11 +109,12 @@ class Message:
 class RankComm:
     """Per-rank communicator handle (the ``comm`` argument of programs)."""
 
-    def __init__(self, rank: int, size: int, runtime: "SimMpiRuntime") -> None:
+    def __init__(self, rank: int, size: int, runtime: "SimMpiRuntime",
+                 clock: float = 0.0) -> None:
         self.rank = rank
         self.size = size
         self._runtime = runtime
-        self.clock = 0.0
+        self.clock = clock         # != 0 for worlds launched mid-stream
         self.stats = CommStats(rank=rank)
         self._coll_seq = 0
 
@@ -125,6 +126,15 @@ class RankComm:
             raise ValueError("compute time cannot be negative")
         self.clock += seconds
         self.stats.compute_s += seconds
+
+    def stall(self, seconds: float) -> None:
+        """Advance the clock by *seconds* of non-compute I/O (checkpoint
+        writes, staging); billed separately from flops so throughput
+        accounting can tell useful work from overhead."""
+        if seconds < 0:
+            raise ValueError("stall time cannot be negative")
+        self.clock += seconds
+        self.stats.io_s += seconds
 
     def compute_flops(self, flops: float,
                       flop_rate: Optional[float] = None) -> None:

@@ -41,12 +41,13 @@ from repro.simmpi.trace import CommStats
 class RunResult:
     """Outcome of one SPMD run."""
 
-    elapsed_s: float                  # makespan: max rank clock
-    clocks: Tuple[float, ...]         # per-rank final clocks
+    elapsed_s: float                  # duration: max rank clock - start
+    clocks: Tuple[float, ...]         # per-rank final clocks (absolute)
     results: Tuple[Any, ...]          # per-rank return values
     stats: Tuple[CommStats, ...]
     resumptions: int = 0              # generator resumptions scheduled
     failed_ranks: Tuple[int, ...] = ()
+    start_time_s: float = 0.0         # virtual time the world launched at
 
     @property
     def total_messages(self) -> int:
@@ -106,6 +107,9 @@ class SimMpiRuntime:
         self._failed: Dict[int, Tuple[float, str]] = {}
         self._tasks: Optional[List[Process]] = None
         self._comms: Optional[List[RankComm]] = None
+        self._start_time = 0.0
+        self._remaining = 0
+        self._on_complete: Optional[Callable[[RunResult], None]] = None
 
     # -- message plumbing (called by RankComm) -----------------------------
 
@@ -205,9 +209,30 @@ class SimMpiRuntime:
 
     # -- the scheduler ------------------------------------------------------
 
-    def run(self, fn: Callable, *args: Any, **kwargs: Any) -> RunResult:
-        """Run generator function *fn(comm, \\*args)* on every rank."""
-        comms = [RankComm(r, self.size, self) for r in range(self.size)]
+    def launch(self, fn: Callable, *args: Any,
+               start_time: Optional[float] = None,
+               on_complete: Optional[Callable[[RunResult], None]] = None,
+               **kwargs: Any) -> None:
+        """Start *fn* on every rank without driving the kernel.
+
+        The non-blocking half of :meth:`run`: rank tasks are created and
+        scheduled at virtual *start_time* (default: the kernel clock),
+        and *on_complete* fires — still inside the event loop — once
+        every rank has finished or failed.  Several runtimes can launch
+        onto one shared kernel, which is how the batch scheduler
+        (:mod:`repro.sched`) interleaves independent jobs, each in its
+        own SimMPI world, on the shared virtual clock.  Whoever owns the
+        kernel is responsible for driving it (``kernel.run()``).
+        """
+        if self._tasks is not None:
+            raise RuntimeError("a program is already running on this runtime")
+        # A fresh world starts with healthy nodes: failures recorded
+        # during a previous launch (e.g. a kill) don't outlive it.
+        self._failed.clear()
+        t0 = self.kernel.now if start_time is None else start_time
+        comms = [
+            RankComm(r, self.size, self, clock=t0) for r in range(self.size)
+        ]
         gens: List[Any] = []
         for comm in comms:
             gen = fn(comm, *args, **kwargs)
@@ -230,22 +255,85 @@ class SimMpiRuntime:
         ]
         self._tasks = tasks
         self._comms = comms
+        self._start_time = t0
+        self._remaining = self.size
+        self._on_complete = on_complete
+        for r, task in enumerate(tasks):
+            kernel.trace("start", time=t0, rank=r)
+            task.start(t0)
+
+    def run(self, fn: Callable, *args: Any, **kwargs: Any) -> RunResult:
+        """Run generator function *fn(comm, \\*args)* on every rank."""
+        done: List[RunResult] = []
+        self.launch(
+            fn, *args, start_time=0.0, on_complete=done.append, **kwargs
+        )
         try:
-            for r, task in enumerate(tasks):
-                kernel.trace("start", time=0.0, rank=r)
-                task.start(0.0)
-            kernel.run()
-            blocked = [r for r, t in enumerate(tasks) if t.alive]
-            if blocked:
+            self.kernel.run()
+            if not done:
+                blocked = [
+                    r for r, t in enumerate(self._tasks) if t.alive
+                ]
                 raise self._deadlock_error(blocked)
         finally:
-            self._tasks = None
-            self._comms = None
-            self._waiters.clear()
+            if not done:
+                self._tasks = None
+                self._comms = None
+                self._waiters.clear()
+        return done[0]
 
+    def kill_all(self, victim_rank: int, time_s: Optional[float] = None,
+                 detail: str = "") -> int:
+        """Kill the whole world because *victim_rank*'s node died.
+
+        The batch-scheduler semantic: a resource manager tears the job
+        down when one of its nodes fails, rather than leaving survivors
+        to degrade.  Every alive rank gets :class:`NodeFailureError`
+        naming the victim thrown in at its suspension point; the world
+        then completes (all ranks failed) and the launch's
+        ``on_complete`` fires.  Returns the number of ranks interrupted.
+        """
+        if not 0 <= victim_rank < self.size:
+            raise ValueError(
+                f"rank {victim_rank} outside 0..{self.size - 1}"
+            )
+        if self._tasks is None:
+            return 0
+        t = self.kernel.now if time_s is None else time_s
+        self._failed.setdefault(victim_rank, (t, detail))
+        self.kernel.trace(
+            "job-kill", time=t, rank=victim_rank, detail=detail,
+        )
+        killed = 0
+        for rank, task in enumerate(self._tasks):
+            if task.alive:
+                self._waiters.pop(rank, None)
+                task.interrupt(
+                    NodeFailureError(victim_rank, t, detail), time=t
+                )
+                killed += 1
+        return killed
+
+    def unfinished_ranks(self) -> Tuple[int, ...]:
+        """Ranks still alive (empty when no world is in flight)."""
+        if self._tasks is None:
+            return ()
+        return tuple(r for r, t in enumerate(self._tasks) if t.alive)
+
+    def _rank_done(self) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._finalize()
+
+    def _finalize(self) -> None:
+        tasks, comms = self._tasks, self._comms
+        start = self._start_time
+        self._tasks = None
+        self._comms = None
+        self._waiters.clear()
         clocks = tuple(c.clock for c in comms)
-        return RunResult(
-            elapsed_s=max(clocks) if clocks else 0.0,
+        result = RunResult(
+            elapsed_s=(max(clocks) - start) if clocks else 0.0,
             clocks=clocks,
             results=tuple(t.result for t in tasks),
             stats=tuple(c.stats for c in comms),
@@ -253,7 +341,11 @@ class SimMpiRuntime:
             failed_ranks=tuple(
                 r for r, t in enumerate(tasks) if t.failed
             ),
+            start_time_s=start,
         )
+        callback, self._on_complete = self._on_complete, None
+        if callback is not None:
+            callback(result)
 
     # -- process callbacks -------------------------------------------------
 
@@ -275,6 +367,7 @@ class SimMpiRuntime:
             self.kernel.trace(
                 "finish", time=self._comms[rank].clock, rank=rank,
             )
+            self._rank_done()
         return on_finish
 
     def _make_on_error(self, rank: int):
@@ -294,6 +387,7 @@ class SimMpiRuntime:
                 if block.src == rank:
                     del self._waiters[dst]
                     proc.wake()
+            self._rank_done()
             return True
         return on_error
 

@@ -27,6 +27,7 @@ class CommStats:
     bytes_sent: int = 0
     bytes_received: int = 0
     compute_s: float = 0.0
+    io_s: float = 0.0         # non-compute stalls (checkpoint writes)
     energy_j: float = 0.0     # filled when a LongRun governor is attached
 
     @property
@@ -42,6 +43,7 @@ class CommStats:
             bytes_sent=self.bytes_sent + other.bytes_sent,
             bytes_received=self.bytes_received + other.bytes_received,
             compute_s=self.compute_s + other.compute_s,
+            io_s=self.io_s + other.io_s,
             energy_j=self.energy_j + other.energy_j,
         )
 

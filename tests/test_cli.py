@@ -49,3 +49,56 @@ def test_cli_table2_with_options(capsys):
 def test_cli_topper(capsys):
     assert main(["topper"]) == 0
     assert "ToPPeR" in capsys.readouterr().out
+
+
+def test_parser_knows_sched():
+    args = build_parser().parse_args(
+        ["sched", "--jobs", "12", "--policy", "backfill", "--fail-inject"]
+    )
+    assert args.command == "sched"
+    assert args.jobs == 12
+    assert args.policy == "backfill"
+    assert args.fail_inject is True
+    assert args.seed == 2001
+
+
+def test_cli_sched_runs_a_small_stream(capsys):
+    assert main(
+        ["sched", "--jobs", "6", "--policy", "fcfs", "--width", "40"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "blade  0 |" in out
+    assert "Job-stream accounting (fcfs)" in out
+    assert "jobs completed" in out
+
+
+def test_cli_sched_with_failures_and_checkpoints(capsys):
+    assert main(
+        ["sched", "--jobs", "8", "--policy", "backfill", "--fail-inject",
+         "--mtbf", "0.02", "--checkpoint", "1", "--width", "40"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Job-stream accounting (backfill)" in out
+
+
+def test_cli_seed_flag_reproduces_and_varies(capsys):
+    def table2(seed):
+        assert main(
+            ["table2", "--particles", "600", "--cpus", "1", "3",
+             "--seed", seed]
+        ) == 0
+        return capsys.readouterr().out
+
+    assert table2("7") == table2("7")
+    assert table2("7") != table2("8")
+
+
+def test_cli_sched_seed_is_deterministic(capsys):
+    def sched(seed):
+        assert main(
+            ["sched", "--jobs", "5", "--seed", seed, "--width", "40"]
+        ) == 0
+        return capsys.readouterr().out
+
+    assert sched("3") == sched("3")
+    assert sched("3") != sched("4")

@@ -56,9 +56,40 @@ def test_operation_sim_is_deterministic():
     assert a.lost_cpu_hours == b.lost_cpu_hours
 
 
-def test_operation_sim_rejects_bad_hours():
+def test_operation_sim_rejects_negative_hours():
     with pytest.raises(ValueError):
-        ClusterOperationSim(METABLADE).run(hours=0)
+        ClusterOperationSim(METABLADE).run(hours=-1.0)
+
+
+def test_zero_hour_run_is_empty_and_fully_available():
+    report = ClusterOperationSim(METABLADE).run(hours=0)
+    assert report.failures == 0
+    assert report.lost_cpu_hours == 0.0
+    assert report.total_cpu_hours == 0.0
+    assert report.availability == 1.0
+    assert report.downtime_cost() == 0.0
+    assert report.hub.log == []
+    assert report.hub.mean_time_to_detect_h() == 0.0
+
+
+def test_zero_failure_run_reports_cleanly():
+    # A failure rate of zero per year: the window passes undisturbed.
+    sim = ClusterOperationSim(METABLADE, seed=1, failures_per_year=0.0)
+    report = sim.run(hours=1000.0)
+    assert report.failures == 0
+    assert report.availability == 1.0
+    assert report.hub.mean_time_to_detect_h() == 0.0
+
+
+def test_availability_clamps_at_zero_when_losses_exceed_window():
+    # A whole-cluster outage profile can lose more CPU-hours than a
+    # short window offers; availability floors at 0 instead of going
+    # negative.
+    sim = ClusterOperationSim(P4_BEOWULF, seed=3,
+                              failures_per_year=100_000.0)
+    report = sim.run(hours=2.0)
+    assert report.lost_cpu_hours > report.total_cpu_hours
+    assert report.availability == 0.0
 
 
 def test_monte_carlo_matches_closed_form():
