@@ -5,7 +5,9 @@ Usage::
     python -m repro.cli summary              # MetaBlade headlines
     python -m repro.cli table5               # any of table1..table7
     python -m repro.cli table2 --cpus 1 4 24 --particles 3000
+    python -m repro.cli table2 --cpus 1 4 24 --jobs 4      # pooled sweep
     python -m repro.cli fig3 --particles 4000
+    python -m repro.cli fig3 --seeds 2001 7 42 --jobs 4    # pooled sweep
     python -m repro.cli topper
     python -m repro.cli green500             # Top500 vs Green500 ranking
     python -m repro.cli timeline --ranks 6   # the unified event timeline
@@ -48,7 +50,7 @@ def _cmd_table1(_args) -> None:
 def _cmd_table2(args) -> None:
     result = experiment_table2(
         n=args.particles, steps=1, cpu_counts=tuple(args.cpus),
-        seed=args.seed,
+        seed=args.seed, jobs=getattr(args, "pool_jobs", 1),
     )
     print(result.text)
 
@@ -73,16 +75,28 @@ def _cmd_table7(_args) -> None:
     print(experiment_table7().text)
 
 
-def _cmd_fig3(args) -> None:
+def _fig3_block(params) -> str:
+    """One fig3 run rendered as text; module-level for the pool."""
+    particles, seed = params
     exp, _, art = experiment_fig3(
         SimConfig(
-            n=args.particles, steps=2, ic="collision", seed=args.seed,
+            n=particles, steps=2, ic="collision", seed=seed,
             theta=0.7, softening=1e-2,
         )
     )
-    print(exp.text)
-    print()
-    print(art)
+    return f"{exp.text}\n\n{art}"
+
+
+def _cmd_fig3(args) -> None:
+    from repro.runner import parallel_map
+
+    seeds = getattr(args, "seeds", None) or [args.seed]
+    blocks = parallel_map(
+        _fig3_block,
+        [(args.particles, seed) for seed in seeds],
+        jobs=getattr(args, "pool_jobs", 1),
+    )
+    print("\n\n".join(blocks))
 
 
 def _cmd_timeline(args) -> None:
@@ -97,7 +111,10 @@ def _cmd_timeline(args) -> None:
     print(result.text)
 
 
-def _cmd_sched(args) -> None:
+def _sched_block(params) -> str:
+    """One scheduler run rendered as text; module-level for the pool."""
+    (jobs, policy, seed, interarrival, fail_inject, mtbf, checkpoint,
+     max_retries, width) = params
     from repro.cluster.catalog import METABLADE
     from repro.metrics.throughput import throughput_report
     from repro.sched import (
@@ -110,34 +127,48 @@ def _cmd_sched(args) -> None:
 
     machine = BladedBeowulf.metablade()
     specs = synthetic_stream(
-        jobs=args.jobs,
+        jobs=jobs,
         max_nodes=machine.cluster.nodes,
         flop_rate=machine.node_flop_rate(),
-        seed=args.seed,
-        mean_interarrival_s=args.interarrival,
+        seed=seed,
+        mean_interarrival_s=interarrival,
     )
     config = SchedConfig(
-        checkpoint_every=args.checkpoint if args.checkpoint > 0 else None,
-        max_retries=args.max_retries,
+        checkpoint_every=checkpoint if checkpoint > 0 else None,
+        max_retries=max_retries,
     )
     sched = BatchScheduler(
-        machine=machine, policy=policy_by_name(args.policy), config=config
+        machine=machine, policy=policy_by_name(policy), config=config
     )
     sched.submit_stream(specs)
-    if args.fail_inject:
-        horizon = specs[-1].arrival_s + args.jobs * args.interarrival
+    if fail_inject:
+        horizon = specs[-1].arrival_s + jobs * interarrival
         sched.inject_poisson_failures(
-            horizon_s=horizon, mtbf_s=args.mtbf, seed=args.seed + 1
+            horizon_s=horizon, mtbf_s=mtbf, seed=seed + 1
         )
     outcome = sched.run()
-    print(
-        render_gantt(
-            outcome.allocator.intervals, outcome.nodes,
-            outcome.makespan_s, width=args.width,
-        )
+    gantt = render_gantt(
+        outcome.allocator.intervals, outcome.nodes,
+        outcome.makespan_s, width=width,
     )
-    print()
-    print(throughput_report(outcome, METABLADE).format())
+    return f"{gantt}\n\n{throughput_report(outcome, METABLADE).format()}"
+
+
+def _cmd_sched(args) -> None:
+    from repro.runner import parallel_map
+
+    seeds = getattr(args, "seeds", None) or [args.seed]
+    blocks = parallel_map(
+        _sched_block,
+        [
+            (args.jobs, args.policy, seed, args.interarrival,
+             args.fail_inject, args.mtbf, args.checkpoint,
+             args.max_retries, args.width)
+            for seed in seeds
+        ],
+        jobs=getattr(args, "pool_jobs", 1),
+    )
+    print("\n\n".join(blocks))
 
 
 def _cmd_topper(_args) -> None:
@@ -203,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
                     default=[1, 2, 4, 8, 16, 24])
     p2.add_argument("--seed", type=int, default=2001,
                     help="initial-conditions RNG seed")
+    p2.add_argument("--jobs", dest="pool_jobs", type=int, default=1,
+                    metavar="N",
+                    help="host processes for the CPU-count sweep "
+                         "(default 1: serial, deterministic)")
     p3 = sub.add_parser("table3", help="NPB single-CPU Mops")
     p3.add_argument("--npb-class", default="S", choices=["T", "S", "W"])
     sub.add_parser("table4", help="treecode history ladder")
@@ -213,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--particles", type=int, default=4000)
     pf.add_argument("--seed", type=int, default=2001,
                     help="initial-conditions RNG seed")
+    pf.add_argument("--seeds", type=int, nargs="+", default=None,
+                    help="sweep these IC seeds instead of --seed")
+    pf.add_argument("--jobs", dest="pool_jobs", type=int, default=1,
+                    metavar="N",
+                    help="host processes for the --seeds sweep "
+                         "(default 1: serial, deterministic)")
     sub.add_parser("topper", help="the ToPPeR headline claim")
     sub.add_parser("green500", help="Top500 vs Green500 rankings")
     pt = sub.add_parser(
@@ -249,6 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="requeues before a killed job is abandoned")
     ps.add_argument("--width", type=int, default=72,
                     help="Gantt chart width in columns")
+    ps.add_argument("--seeds", type=int, nargs="+", default=None,
+                    help="sweep these stream seeds instead of --seed")
+    ps.add_argument("--procs", dest="pool_jobs", type=int, default=1,
+                    metavar="N",
+                    help="host processes for the --seeds sweep "
+                         "(--jobs is the stream length here)")
     pa = sub.add_parser("all", help="everything (takes minutes)")
     pa.add_argument("--particles", type=int, default=3000)
     pa.add_argument("--cpus", type=int, nargs="+", default=[1, 4, 24])

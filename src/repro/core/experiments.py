@@ -99,11 +99,12 @@ def experiment_table2(
     cpu_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 24),
     ideal_network: bool = False,
     seed: int = 2001,
+    jobs: int = 1,
 ) -> ExperimentResult:
     machine = BladedBeowulf.metablade()
     config = SimConfig(n=n, steps=steps, seed=seed, theta=0.7, softening=1e-2)
     points = machine.nbody_scaling(
-        config, cpu_counts, ideal_network=ideal_network
+        config, cpu_counts, ideal_network=ideal_network, jobs=jobs
     )
     rows = [
         [p.cpus, round(p.time_s, 3), round(p.speedup, 2),

@@ -107,14 +107,19 @@ class BladedBeowulf:
 
     def nbody_scaling(self, config: SimConfig,
                       cpu_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 24),
-                      ideal_network: bool = False) -> list:
-        """Table 2 on this machine's nodes and fabric."""
+                      ideal_network: bool = False,
+                      jobs: int = 1) -> list:
+        """Table 2 on this machine's nodes and fabric.
+
+        ``jobs`` fans the independent CPU-count points over host
+        processes (see :func:`repro.nbody.parallel.scaling_study`).
+        """
         counts = tuple(
             c for c in cpu_counts if c <= self.cluster.nodes
         )
         return scaling_study(
             config, counts, self.node_flop_rate(),
-            ideal_network=ideal_network,
+            ideal_network=ideal_network, jobs=jobs,
         )
 
     # -- economics -----------------------------------------------------------

@@ -139,6 +139,31 @@ def karp_rsqrt(x: np.ndarray, table: KarpTable = KarpTable()) -> np.ndarray:
     return np.ldexp(y, -k.astype(np.int64))
 
 
+def masked_rsqrt(r2: np.ndarray, use_karp: bool = False,
+                 table: KarpTable = KarpTable()) -> np.ndarray:
+    """Reciprocal square root with zeros mapped to zero.
+
+    The shared helper of every gravity kernel (direct summation and both
+    treecode walks).  With zero softening the self-interaction has
+    ``r2 = 0``; returning 0 there makes the self term vanish exactly
+    (consistent with the softened case, where the zero displacement
+    vector kills it).  When every entry is positive — the common case
+    with softening — the masked gather/scatter is skipped entirely,
+    which computes the same bits in one pass.
+    """
+    nz = r2 > 0.0
+    if nz.all():
+        if use_karp:
+            return karp_rsqrt(r2, table)
+        return 1.0 / np.sqrt(r2)
+    out = np.zeros_like(r2)
+    if use_karp:
+        out[nz] = karp_rsqrt(r2[nz], table)
+    else:
+        out[nz] = 1.0 / np.sqrt(r2[nz])
+    return out
+
+
 def karp_rsqrt_flops(n: int, table: KarpTable = KarpTable()) -> int:
     """Flop count of *n* evaluations (interp 3 + per-Newton 4 + setup 1)."""
     per_element = 3 + 1 + 4 * table.newton_iters

@@ -13,26 +13,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.nbody.karp import KarpTable, karp_rsqrt
+from repro.nbody.karp import KarpTable, karp_rsqrt, masked_rsqrt
 
 #: Flops billed per gravitational interaction (Warren-Salmon convention).
 INTERACTION_FLOPS = 38
 
-
-def _rsqrt(r2: np.ndarray, use_karp: bool) -> np.ndarray:
-    """Reciprocal square root with zeros mapped to zero.
-
-    With zero softening the self-interaction has r2 = 0; returning 0
-    there makes the self term vanish exactly (consistent with the
-    softened case, where the zero displacement vector kills it).
-    """
-    out = np.zeros_like(r2)
-    nz = r2 > 0.0
-    if use_karp:
-        out[nz] = karp_rsqrt(r2[nz])
-    else:
-        out[nz] = 1.0 / np.sqrt(r2[nz])
-    return out
+#: Shared zero-safe reciprocal square root (see :mod:`repro.nbody.karp`).
+_rsqrt = masked_rsqrt
 
 
 def direct_accelerations(

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.nbody.ic import plummer_sphere, two_clusters, uniform_cube
 from repro.nbody.integrator import leapfrog_step, total_energy
-from repro.nbody.tree import HashedOctree
+from repro.nbody.tree import HashedOctree, TreeBuildCache
 from repro.nbody.traversal import TraversalStats, tree_accelerations
 
 #: Flops billed for tree construction, per particle (key generation,
@@ -42,6 +42,7 @@ class SimConfig:
     seed: int = 2001
     ic: str = "plummer"            # plummer | cube | collision
     use_karp: bool = False
+    naive_traversal: bool = False  # reference path: per-group python walk
 
     def make_ic(self):
         if self.ic == "plummer":
@@ -100,16 +101,26 @@ class NBodySimulation:
         self.total_flops = 0
         self.records: List[StepRecord] = []
         self._acc: Optional[np.ndarray] = None
+        self._tree_cache = TreeBuildCache()
 
     def _accel(self, pos: np.ndarray) -> Tuple[np.ndarray, int]:
         cfg = self.config
-        tree = HashedOctree(pos, self.mass, leaf_size=cfg.leaf_size)
+        if cfg.naive_traversal:
+            tree = HashedOctree(pos, self.mass, leaf_size=cfg.leaf_size)
+        else:
+            tree = self._tree_cache.build(
+                pos, self.mass, leaf_size=cfg.leaf_size
+            )
         acc, stats = tree_accelerations(
             tree,
             theta=cfg.theta,
             softening=cfg.softening,
             use_karp=cfg.use_karp,
+            naive=cfg.naive_traversal,
         )
+        if not cfg.naive_traversal:
+            stats.tree_rebuilds = self._tree_cache.rebuilds
+            stats.tree_reuses = self._tree_cache.reuses
         flops = stats.flops + BUILD_FLOPS_PER_PARTICLE * len(pos)
         self._last_stats = stats
         self._last_tree_nodes = tree.node_count()

@@ -1,13 +1,12 @@
-"""Barnes-Hut force walks over the hashed octree, one leaf group at a time.
+"""Barnes-Hut force walks over the hashed octree.
 
 For every leaf cell the walk assembles two interaction lists:
 
 - **cell interactions**: nodes whose monopole satisfies the group
   multipole-acceptance criterion (MAC) with respect to the whole leaf
-  group - evaluated vectorised, one NumPy expression per group;
+  group;
 - **direct interactions**: particles of leaf cells that had to be
-  opened to the bottom - evaluated pairwise (softened, so the self term
-  vanishes naturally).
+  opened to the bottom (softened, so the self term vanishes naturally).
 
 The MAC is the group-radius form: accept a node of edge ``s`` at
 centre-of-mass distance ``d`` from the group centre when
@@ -16,19 +15,48 @@ centre-of-mass distance ``d`` from the group centre when
 
 which is conservative for every particle in the group.  Ancestors of
 the group are always opened regardless.
+
+Two implementations of the same walk coexist:
+
+- the **batched** path (default): one frontier of ``(group, node)``
+  pairs descends all groups simultaneously in NumPy; the surviving
+  interaction pairs are then evaluated in large flat arrays with
+  segment reductions.  No per-group Python work, no per-group small
+  allocations.
+- the **naive** path (``naive=True``): the original one-group-at-a-time
+  walk, kept as the executable reference.
+
+The two are bit-identical - same accelerations, same interaction
+counts, same ``group_work`` records - which the equivalence tests
+assert.  The batched evaluator is careful to replicate the reference
+path's floating-point operation order: distances use the same einsum
+contraction, per-target reductions use ``np.bincount`` (sequential
+accumulation in pair order, matching einsum's inner loop), pairs are
+laid out target-major with sources in depth-first tree order (the
+order the sequential walk appends them in), and chunking always splits
+between targets, never inside one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.nbody.karp import karp_rsqrt
+from repro.nbody.karp import karp_rsqrt, masked_rsqrt
 from repro.nbody.kernels import INTERACTION_FLOPS
 from repro.nbody.morton import ancestor_at_level
+from repro.nbody.multipole import quadrupole_acceleration
 from repro.nbody.tree import HashedOctree, TreeNode
+
+#: Shared zero-safe reciprocal square root (see :mod:`repro.nbody.karp`).
+_rsqrt = masked_rsqrt
+
+#: Pair-batch size for the batched evaluators.  Sized so one batch's
+#: working set stays cache-resident; batches always end on a target
+#: boundary so partial accumulation never changes any summation order.
+_PAIR_CHUNK = 1 << 16
 
 
 @dataclass
@@ -39,6 +67,11 @@ class TraversalStats:
     particle_particle: int = 0
     groups: int = 0
     nodes_opened: int = 0
+    #: tree builds that ran the full node construction vs. builds that
+    #: reused the previous step's structure (see
+    #: :class:`repro.nbody.tree.TreeBuildCache`).
+    tree_rebuilds: int = 0
+    tree_reuses: int = 0
     #: per-group records ``(lo, hi, interactions)`` in sorted index
     #: space - the raw material of work-based decomposition.
     group_work: List[Tuple[int, int, int]] = field(default_factory=list)
@@ -56,16 +89,8 @@ class TraversalStats:
         self.particle_particle += other.particle_particle
         self.groups += other.groups
         self.nodes_opened += other.nodes_opened
-
-
-def _rsqrt(r2: np.ndarray, use_karp: bool) -> np.ndarray:
-    out = np.zeros_like(r2)
-    nz = r2 > 0.0
-    if use_karp:
-        out[nz] = karp_rsqrt(r2[nz])
-    else:
-        out[nz] = 1.0 / np.sqrt(r2[nz])
-    return out
+        self.tree_rebuilds += other.tree_rebuilds
+        self.tree_reuses += other.tree_reuses
 
 
 def _group_geometry(tree: HashedOctree,
@@ -87,7 +112,12 @@ def interaction_lists(
     tree: HashedOctree, leaf: TreeNode, theta: float,
     stats: Optional[TraversalStats] = None,
 ) -> Tuple[List[TreeNode], List[TreeNode]]:
-    """Walk the tree for one leaf group; returns (cells, direct_leaves)."""
+    """Walk the tree for one leaf group; returns (cells, direct_leaves).
+
+    The reference (naive) walk.  The batched walk reproduces its visit
+    set exactly; list order here is depth-first pop order, which equals
+    ascending flat node index.
+    """
     centre, radius = _group_geometry(tree, leaf)
     cells: List[TreeNode] = []
     direct: List[TreeNode] = []
@@ -100,7 +130,8 @@ def interaction_lists(
             direct.append(node)
             continue
         if not _is_ancestor(node, leaf):
-            d = float(np.linalg.norm(node.com - centre))
+            dv = node.com - centre
+            d = float(np.sqrt(np.einsum("i,i->", dv, dv)))
             margin = d - radius
             if margin > 0.0 and node.size < theta * margin:
                 cells.append(node)
@@ -118,6 +149,7 @@ def _evaluate_group(
     softening: float, g: float, use_karp: bool,
     stats: TraversalStats, use_quadrupole: bool = False,
 ) -> np.ndarray:
+    """Reference per-group evaluation (one NumPy expression per list)."""
     targets = tree.pos[leaf.lo:leaf.hi]
     acc = np.zeros_like(targets)
     eps2 = softening * softening
@@ -132,7 +164,6 @@ def _evaluate_group(
         acc += g * np.einsum("ij,ijk->ik", masses * rinv3, diff)
         stats.particle_cell += targets.shape[0] * len(cells)
         if use_quadrupole:
-            from repro.nbody.multipole import quadrupole_acceleration
             quads = np.array([c.quadrupole for c in cells])
             acc += quadrupole_acceleration(diff, rinv, quads, g).sum(axis=1)
             # The expansion term costs roughly another interaction's
@@ -156,6 +187,460 @@ def _evaluate_group(
     return acc
 
 
+# -- batched fast path -----------------------------------------------------
+
+
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray,
+                   scratch: Optional[str] = None) -> np.ndarray:
+    """``concatenate([arange(s, s + c) for s, c in zip(starts, counts)])``
+    without the Python loop.
+
+    With *scratch*, the result is a view into the named persistent
+    buffer: only for callers that consume it before the same name is
+    requested again - never for arrays that escape this module.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    if len(counts) > 1 and int(counts.min()) > 0:
+        # All ranges non-empty: emit per-element deltas (+1 inside a
+        # range, a jump at each range start) and integrate once -
+        # three linear passes instead of two repeats plus arithmetic.
+        if scratch is not None:
+            deltas = _scratch(scratch, total, np.int64)[:total]
+            deltas.fill(1)
+        else:
+            deltas = np.ones(total, dtype=np.int64)
+        deltas[0] = starts[0]
+        deltas[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+        return np.cumsum(deltas, out=deltas)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts,
+                                                           counts)
+    return np.repeat(starts, counts) + offsets
+
+
+def _sorted_pairs(
+    g_parts: List[np.ndarray], n_parts: List[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-depth (group, node) chunks, sorted by group then
+    node.  The pairs are unique (a node enters a group's list at most
+    once) and both ids fit in 32 bits, so packing them into one int64
+    key and running a single unstable sort reproduces the stable
+    lexsort order at a fraction of its cost.
+    """
+    if not g_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    combo = np.concatenate(g_parts)
+    combo <<= np.int64(32)
+    combo |= np.concatenate(n_parts)
+    combo.sort()
+    return combo >> np.int64(32), combo & np.int64(0xFFFFFFFF)
+
+
+def _batched_interaction_pairs(
+    tree: HashedOctree,
+    leaf_idx: np.ndarray,
+    theta: float,
+    centres: np.ndarray,
+    radii: np.ndarray,
+    stats: TraversalStats,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One frontier walk for all groups at once.
+
+    Returns ``(cell_nodes, cell_count, direct_src, direct_count)``:
+    concatenated per-group cell node indices (each group's run sorted
+    by flat node index = depth-first order) with per-group counts, and
+    likewise concatenated direct-source particle indices.
+    """
+    node_key = tree.node_key
+    node_level = tree.node_level
+    node_mass = tree.node_mass
+    node_com = tree.node_com
+    node_size = tree.node_size
+    node_is_leaf = tree.node_is_leaf
+    child_ptr = tree.child_ptr
+    child_index = tree.child_index
+
+    n_groups = len(leaf_idx)
+    leaf_key = node_key[leaf_idx]
+    leaf_level = node_level[leaf_idx]
+
+    gidx = np.arange(n_groups, dtype=np.int64)
+    nidx = np.full(n_groups, tree.root_index, dtype=np.int64)
+    cell_g: List[np.ndarray] = []
+    cell_n: List[np.ndarray] = []
+    dir_g: List[np.ndarray] = []
+    dir_n: List[np.ndarray] = []
+    opened = 0
+    while gidx.size:
+        keep = node_mass[nidx] > 0.0
+        gidx, nidx = gidx[keep], nidx[keep]
+        if not gidx.size:
+            break
+        at_leaf = node_is_leaf[nidx]
+        if at_leaf.any():
+            dir_g.append(gidx[at_leaf])
+            dir_n.append(nidx[at_leaf])
+        gi, ni = gidx[~at_leaf], nidx[~at_leaf]
+        if not gi.size:
+            break
+        # Ancestors of the group are always opened.
+        lvl = node_level[ni]
+        gl = leaf_level[gi]
+        shift = (3 * np.maximum(gl - lvl, 0)).astype(np.uint64)
+        ancestor = (lvl <= gl) & ((leaf_key[gi] >> shift) == node_key[ni])
+        # Group-radius MAC, same einsum contraction as the naive walk.
+        dv = node_com[ni] - centres[gi]
+        d = np.sqrt(np.einsum("ij,ij->i", dv, dv))
+        margin = d - radii[gi]
+        accept = ~ancestor & (margin > 0.0) & (node_size[ni] < theta * margin)
+        if accept.any():
+            cell_g.append(gi[accept])
+            cell_n.append(ni[accept])
+        go, no = gi[~accept], ni[~accept]
+        opened += go.size
+        counts = child_ptr[no + 1] - child_ptr[no]
+        nidx = child_index[_concat_ranges(child_ptr[no], counts, "cr_walk")]
+        gidx = np.repeat(go, counts)
+    stats.nodes_opened += opened
+
+    # Frontier order is breadth-first; the sequential walk appends in
+    # depth-first pop order, which equals ascending flat node index
+    # (nodes are created in pop order).  Sorting each group's pairs by
+    # node index therefore restores the exact sequential list order.
+    # A node appears at most once per group, so the fused (group, node)
+    # keys are unique and one unstable sort of the packed key replaces
+    # the two stable passes of a lexsort.
+    cg, cn = _sorted_pairs(cell_g, cell_n)
+    cell_count = np.bincount(cg, minlength=n_groups).astype(np.int64)
+
+    dg, dn = _sorted_pairs(dir_g, dir_n)
+    src_counts = tree.node_hi[dn] - tree.node_lo[dn]
+    direct_src = _concat_ranges(tree.node_lo[dn], src_counts,
+                                "cr_direct_src")
+    # Exact in float64: counts are far below 2**53.
+    direct_count = np.bincount(
+        dg, weights=src_counts, minlength=n_groups
+    ).astype(np.int64)
+    return cn, cell_count, direct_src, direct_count
+
+
+def _fast_rsqrt(r2: np.ndarray, use_karp: bool, positive: bool) -> np.ndarray:
+    """``masked_rsqrt`` minus the positivity scan when ``positive``.
+
+    The batched evaluators know ``r2 = |d|^2 + eps2 >= eps2 > 0``
+    whenever softening is nonzero, so the mask pass can be skipped;
+    the values computed are identical either way.
+    """
+    if not positive:
+        return masked_rsqrt(r2, use_karp)
+    if use_karp:
+        return karp_rsqrt(r2)
+    out = np.sqrt(r2)
+    np.divide(1.0, out, out=out)
+    return out
+
+
+#: Persistent scratch buffers for the batched evaluators.  The block
+#: arithmetic is memory-bound, and re-acquiring megabytes from the
+#: allocator on every force evaluation measurably dominates the block
+#: math itself; keeping the arenas alive across calls removes that.
+#: Values are only ever read through freshly written views, so reuse
+#: cannot leak state between evaluations.  (Not thread-safe, like the
+#: rest of this module.)
+_SCRATCH: dict = {}
+
+
+def _scratch(name: str, size: int, dtype) -> np.ndarray:
+    """A flat persistent buffer of at least *size* elements."""
+    buf = _SCRATCH.get(name)
+    if buf is None or buf.size < size or buf.dtype != dtype:
+        buf = np.empty(size, dtype=dtype)
+        _SCRATCH[name] = buf
+    return buf
+
+
+def _fast_rsqrt_inplace(r2: np.ndarray, use_karp: bool,
+                        positive: bool) -> np.ndarray:
+    """:func:`_fast_rsqrt` writing into ``r2`` when the path allows it."""
+    if positive and not use_karp:
+        np.sqrt(r2, out=r2)
+        np.divide(1.0, r2, out=r2)
+        return r2
+    return _fast_rsqrt(r2, use_karp, positive)
+
+
+def _segment_accumulate(
+    out: np.ndarray,
+    tgt_pos: np.ndarray,
+    per_target_count: np.ndarray,
+    seg_ptr: np.ndarray,
+    tgt_group: np.ndarray,
+    src_flat: np.ndarray,
+    src_pos: np.ndarray,
+    src_mass: np.ndarray,
+    eps2: float,
+    use_karp: bool,
+    quads: Optional[np.ndarray],
+    quad_out: Optional[np.ndarray],
+    g: float,
+) -> None:
+    """Flat-array evaluation of one pair family (cells or direct).
+
+    For each target ``t`` the sources are
+    ``src_flat[seg_ptr[g]:seg_ptr[g+1]]`` with ``g = tgt_group[t]``.
+    Pairs are processed target-major in chunks that end on target
+    boundaries; per-target sums use ``np.bincount``, whose sequential
+    accumulation in pair order is bit-identical to the reference
+    einsum contraction over a ``(targets, sources, 3)`` block.
+    """
+    n_targets = len(tgt_pos)
+    positive = eps2 > 0.0
+    cum = np.concatenate(([0], np.cumsum(per_target_count)))
+    t0 = 0
+    while t0 < n_targets:
+        t1 = int(np.searchsorted(cum, cum[t0] + _PAIR_CHUNK, side="right")) - 1
+        t1 = max(t1, t0 + 1)
+        counts = per_target_count[t0:t1]
+        n_local = t1 - t0
+        local = np.repeat(np.arange(n_local, dtype=np.int64), counts)
+        if local.size:
+            n_pairs = local.size
+            groups = tgt_group[t0:t1]
+            src = src_flat[_concat_ranges(seg_ptr[groups], counts,
+                                          "cr_seg")]
+            diff = _scratch(
+                "seg_diff", max(n_pairs, _PAIR_CHUNK) * 3, np.float64
+            )[:n_pairs * 3].reshape(n_pairs, 3)
+            np.take(src_pos, src, axis=0, out=diff)
+            np.subtract(
+                diff, np.repeat(tgt_pos[t0:t1], counts, axis=0), out=diff
+            )
+            r2 = _scratch(
+                "seg_r2", max(n_pairs, _PAIR_CHUNK), np.float64
+            )[:n_pairs]
+            np.einsum("ij,ij->i", diff, diff, out=r2)
+            r2 += eps2
+            rinv = _fast_rsqrt_inplace(r2, use_karp, positive)
+            rinv3 = _scratch(
+                "seg_w", max(n_pairs, _PAIR_CHUNK), np.float64
+            )[:n_pairs]
+            np.multiply(rinv, rinv, out=rinv3)
+            np.multiply(rinv3, rinv, out=rinv3)
+            weighted = (src_mass[src] * rinv3)[:, None] * diff
+            for k in range(3):
+                out[t0:t1, k] = np.bincount(
+                    local, weights=weighted[:, k], minlength=n_local
+                )
+            if quads is not None:
+                qa = quadrupole_acceleration(
+                    diff[None], rinv[None], quads[src], g
+                )[0]
+                for k in range(3):
+                    quad_out[t0:t1, k] = np.bincount(
+                        local, weights=qa[:, k], minlength=n_local
+                    )
+        t0 = t1
+
+
+def _blocked_direct(
+    out: np.ndarray,
+    tree: HashedOctree,
+    glo: np.ndarray,
+    sizes: np.ndarray,
+    row_ptr: np.ndarray,
+    direct_src: np.ndarray,
+    direct_ptr: np.ndarray,
+    direct_count: np.ndarray,
+    eps2: float,
+    use_karp: bool,
+) -> None:
+    """Direct-sum evaluation in group blocks (the dominant pair family).
+
+    Every particle of a leaf group interacts with the same source list,
+    so instead of expanding pairs per target the groups are stacked
+    into ``(block, targets, sources, 3)`` einsum blocks: sources are
+    gathered once per group and broadcast over its targets, and the
+    per-target reduction is an einsum contraction - bit-identical to
+    the reference per-group expression, with no scatter pass.
+
+    Groups are bucketed by target count and sorted by source count so
+    stacking wastes little padding.  Padded source slots point at a
+    sentinel pseudo-particle of mass 0 placed strictly below every
+    coordinate in the system: each padded term is then exactly
+    ``+0.0 * negative = -0.0``, and adding ``-0.0`` never changes an
+    IEEE sum (``x + -0.0 == x`` for every x, including both zeros) -
+    so padding cannot perturb a single bit.
+
+    All large intermediates live in buffers reused across blocks: the
+    arithmetic is memory-bound, and letting numpy allocate fresh
+    megabyte arrays per block roughly doubles the wall time.
+    """
+    n_groups = len(glo)
+    positive = eps2 > 0.0
+    order = np.lexsort((direct_count, sizes))
+    pos = np.concatenate((tree.pos, tree.pos.min(axis=0)[None] - 1.0))
+    mass = np.concatenate((tree.mass, [0.0]))
+    sentinel = len(tree.pos)
+    # One group alone can exceed the pair budget (a big leaf against a
+    # long source list); it then forms a singleton block, so the
+    # buffers must hold the largest single group.
+    cap = _PAIR_CHUNK
+    if n_groups:
+        cap = max(cap, int((sizes * direct_count).max()))
+    diff_buf = _scratch("direct_diff", cap * 3, np.float64)
+    r2_buf = _scratch("direct_r2", cap, np.float64)
+    w_buf = _scratch("direct_w", cap, np.float64)
+    spos_buf = _scratch("direct_spos", cap * 3, np.float64)
+    smass_buf = _scratch("direct_smass", cap, np.float64)
+    idx_buf = _scratch("direct_idx", cap, np.int64)
+    src_buf = _scratch("direct_src", cap, np.int64)
+    pad_buf = _scratch("direct_pad", cap, np.bool_)
+    i = 0
+    while i < n_groups:
+        t = int(sizes[order[i]])
+        j = i
+        while j < n_groups and sizes[order[j]] == t:
+            j += 1
+        k0 = i
+        while k0 < j:
+            # Grow the block while the padded pair count stays in budget.
+            m_pad = int(direct_count[order[k0]])
+            b = 1
+            while k0 + b < j:
+                m_next = max(m_pad, int(direct_count[order[k0 + b]]))
+                if (b + 1) * t * m_next > _PAIR_CHUNK:
+                    break
+                m_pad = m_next
+                b += 1
+            gs = order[k0:k0 + b]
+            counts = direct_count[gs]
+            col = np.arange(m_pad, dtype=np.int64)[None, :]
+            idx = idx_buf[:b * m_pad].reshape(b, m_pad)
+            np.minimum(col, (counts - 1)[:, None], out=idx)
+            np.add(idx, direct_ptr[gs][:, None], out=idx)
+            src = src_buf[:b * m_pad].reshape(b, m_pad)
+            np.take(direct_src, idx, out=src)
+            pad = pad_buf[:b * m_pad].reshape(b, m_pad)
+            np.greater_equal(col, counts[:, None], out=pad)
+            np.copyto(src, sentinel, where=pad)
+            rows = (row_ptr[gs][:, None]
+                    + np.arange(t, dtype=np.int64)[None, :]).ravel()
+            tgt = pos[
+                (glo[gs][:, None]
+                 + np.arange(t, dtype=np.int64)[None, :]).ravel()
+            ].reshape(b, t, 3)
+            src_pos = spos_buf[:b * m_pad * 3].reshape(b, m_pad, 3)
+            np.take(pos, src, axis=0, out=src_pos)
+            src_mass = smass_buf[:b * m_pad].reshape(b, m_pad)
+            np.take(mass, src, out=src_mass)
+            n_pairs = b * t * m_pad
+            diff = diff_buf[:n_pairs * 3].reshape(b, t, m_pad, 3)
+            np.subtract(src_pos[:, None, :, :], tgt[:, :, None, :], out=diff)
+            r2 = r2_buf[:n_pairs].reshape(b, t, m_pad)
+            np.einsum("btmc,btmc->btm", diff, diff, out=r2)
+            r2 += eps2
+            rinv = _fast_rsqrt_inplace(r2, use_karp, positive)
+            weight = w_buf[:n_pairs].reshape(b, t, m_pad)
+            np.multiply(rinv, rinv, out=weight)
+            np.multiply(weight, rinv, out=weight)
+            np.multiply(weight, src_mass[:, None, :], out=weight)
+            out[rows] = np.einsum("btm,btmc->btc", weight, diff).reshape(
+                b * t, 3
+            )
+            k0 += b
+        i = j
+
+
+def _batched_accelerations(
+    tree: HashedOctree,
+    leaf_indices: Sequence[int],
+    theta: float,
+    softening: float,
+    g: float,
+    use_karp: bool,
+    use_quadrupole: bool,
+    stats: TraversalStats,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fast path: walk + evaluate every group in flat NumPy arrays.
+
+    Returns ``(rows, acc)`` where ``rows`` are sorted particle indices
+    (the concatenation of the groups' slices) and ``acc`` their
+    accelerations, bit-identical to the naive path.
+    """
+    leaf_idx = np.asarray(leaf_indices, dtype=np.int64)
+    n_groups = len(leaf_idx)
+    glo = tree.node_lo[leaf_idx]
+    ghi = tree.node_hi[leaf_idx]
+    sizes = ghi - glo
+    rows = _concat_ranges(glo, sizes)
+    row_ptr = np.concatenate(([0], np.cumsum(sizes)))
+    tgt_group = np.repeat(np.arange(n_groups, dtype=np.int64), sizes)
+    pos = tree.pos
+    tgt_pos = pos[rows]
+    n_targets = len(rows)
+
+    # Group geometry, vectorised but bit-identical to _group_geometry:
+    # the per-group mean reduces its outer axis sequentially, exactly
+    # like bincount; the squared-distance row sum is the sequential
+    # 3-term sum; the segment max is exact for any association.
+    sums = np.empty((n_groups, 3))
+    for k in range(3):
+        sums[:, k] = np.bincount(
+            tgt_group, weights=tgt_pos[:, k], minlength=n_groups
+        )
+    centres = sums / sizes[:, None]
+    spread = tgt_pos - centres[tgt_group]
+    spread *= spread
+    dist2 = spread[:, 0] + spread[:, 1]
+    dist2 += spread[:, 2]
+    radii = np.sqrt(np.maximum.reduceat(dist2, row_ptr[:-1]))
+
+    cell_nodes, cell_count, direct_src, direct_count = (
+        _batched_interaction_pairs(tree, leaf_idx, theta, centres, radii,
+                                   stats)
+    )
+    cell_ptr = np.concatenate(([0], np.cumsum(cell_count)))
+    direct_ptr = np.concatenate(([0], np.cumsum(direct_count)))
+    eps2 = softening * softening
+
+    acc = np.zeros((n_targets, 3))
+    cell_sum = np.zeros((n_targets, 3))
+    quad_sum = np.zeros((n_targets, 3)) if use_quadrupole else None
+    _segment_accumulate(
+        cell_sum, tgt_pos, cell_count[tgt_group], cell_ptr, tgt_group,
+        cell_nodes, tree.node_com, tree.node_mass, eps2, use_karp,
+        tree.node_quad if use_quadrupole else None, quad_sum, g,
+    )
+    direct_sum = np.empty((n_targets, 3))
+    _blocked_direct(
+        direct_sum, tree, glo, sizes, row_ptr, direct_src, direct_ptr,
+        direct_count, eps2, use_karp,
+    )
+    # Same per-element addition order as the naive group evaluator:
+    # zeros += g*cells, += quadrupole, += g*direct.
+    acc += g * cell_sum
+    if use_quadrupole:
+        acc += quad_sum
+    acc += g * direct_sum
+
+    stats.groups += n_groups
+    pc = sizes * cell_count
+    if use_quadrupole:
+        pc = 2 * pc
+    pp = sizes * direct_count
+    stats.particle_cell += int(pc.sum())
+    stats.particle_particle += int(pp.sum())
+    work = pc + pp
+    glo_l = glo.tolist()
+    ghi_l = ghi.tolist()
+    work_l = work.tolist()
+    stats.group_work.extend(zip(glo_l, ghi_l, work_l))
+    return rows, acc
+
+
 def tree_accelerations(
     tree: HashedOctree,
     theta: float = 0.7,
@@ -164,6 +649,7 @@ def tree_accelerations(
     use_karp: bool = False,
     target_slice: Optional[Tuple[int, int]] = None,
     use_quadrupole: bool = False,
+    naive: bool = False,
 ) -> Tuple[np.ndarray, TraversalStats]:
     """Accelerations for all (or a slice of) particles.
 
@@ -171,6 +657,9 @@ def tree_accelerations(
     order when ``target_slice`` is None, or in **sorted** order covering
     ``[lo, hi)`` when a slice is given (the parallel code works in
     sorted order throughout).
+
+    ``naive=True`` selects the one-group-at-a-time reference walk; the
+    default batched path returns bit-identical results.
     """
     if theta <= 0:
         raise ValueError("theta must be positive")
@@ -185,6 +674,8 @@ def tree_accelerations(
     if not 0 <= lo <= hi <= n:
         raise ValueError(f"bad target slice [{lo}, {hi})")
     acc_sorted = np.zeros((hi - lo, 3))
+
+    group_leaves: List[TreeNode] = []
     for leaf in tree.leaves():
         if leaf.hi <= lo or leaf.lo >= hi:
             continue
@@ -195,16 +686,27 @@ def tree_accelerations(
             )
         if leaf.count == 0:
             continue
-        before = stats.interactions
-        cells, direct = interaction_lists(tree, leaf, theta, stats)
-        acc_sorted[leaf.lo - lo:leaf.hi - lo] = _evaluate_group(
-            tree, leaf, cells, direct, softening, g, use_karp, stats,
-            use_quadrupole=use_quadrupole,
+        group_leaves.append(leaf)
+
+    if naive:
+        for leaf in group_leaves:
+            before = stats.interactions
+            cells, direct = interaction_lists(tree, leaf, theta, stats)
+            acc_sorted[leaf.lo - lo:leaf.hi - lo] = _evaluate_group(
+                tree, leaf, cells, direct, softening, g, use_karp, stats,
+                use_quadrupole=use_quadrupole,
+            )
+            stats.groups += 1
+            stats.group_work.append(
+                (leaf.lo, leaf.hi, stats.interactions - before)
+            )
+    elif group_leaves:
+        rows, acc = _batched_accelerations(
+            tree, [leaf.index for leaf in group_leaves], theta, softening,
+            g, use_karp, use_quadrupole, stats,
         )
-        stats.groups += 1
-        stats.group_work.append(
-            (leaf.lo, leaf.hi, stats.interactions - before)
-        )
+        acc_sorted[rows - lo] = acc
+
     if target_slice is not None:
         return acc_sorted, stats
     return tree.unsort(acc_sorted), stats

@@ -9,6 +9,27 @@ and multipole moments come from prefix sums in O(1) per cell.
 Moments are monopole (mass + centre of mass); the acceptance criterion
 in :mod:`repro.nbody.traversal` compensates with a conservative opening
 angle, which is the standard Barnes-Hut trade-off.
+
+Two layouts coexist and describe the same tree:
+
+- the **hash table** of :class:`TreeNode` objects (``tree.nodes``),
+  the random-access API the rest of the package navigates by key;
+- **flat arrays** (``node_mass``, ``node_com``, ``node_size``,
+  ``child_ptr``/``child_index``, ...) indexed by *creation order*,
+  which the batched traversal gathers from without touching Python
+  objects.  Creation order is exactly the depth-first pop order the
+  per-group walk visits nodes in, so a node's flat index doubles as
+  its DFS rank - sorting any subset of nodes by flat index reproduces
+  the sequential walk's visit order.
+
+Between integrator steps most of this work can be reused:
+:class:`TreeBuildCache` keeps the last build and skips, in order of
+how much it can prove unchanged: the whole tree (identical particles -
+how the replicated-tree ranks of :mod:`repro.nbody.parallel` share one
+build per step), the node topology (identical sorted keys), or just
+the sort permutation (key order preserved, the common case for small
+integrator steps).  Every reuse path produces bit-identical trees to a
+from-scratch build; the cache only removes redundant work.
 """
 
 from __future__ import annotations
@@ -24,13 +45,20 @@ from repro.nbody.morton import (
     ancestor_at_level,
     cell_geometry,
     key_level,
+    morton_decode,
     particle_keys,
 )
 
+_EYE3 = np.eye(3)
 
-@dataclass
+
+@dataclass(slots=True)
 class TreeNode:
-    """One cell of the octree."""
+    """One cell of the octree.
+
+    Allocated in bulk (one per cell, every rebuild), hence
+    ``slots=True``: no per-instance ``__dict__``.
+    """
 
     key: int
     level: int
@@ -41,6 +69,9 @@ class TreeNode:
     centre: np.ndarray      # geometric cell centre (3,)
     size: float             # cell edge length
     is_leaf: bool
+    #: position in creation (= depth-first visit) order; the node's
+    #: index into the tree's flat ``node_*`` arrays.
+    index: int = -1
     children: Tuple[int, ...] = ()
     #: Traceless quadrupole tensor (3x3) when the tree carries them.
     quadrupole: Optional[np.ndarray] = None
@@ -50,13 +81,39 @@ class TreeNode:
         return self.hi - self.lo
 
 
+class _Topology:
+    """Node structure of one tree, independent of particle data.
+
+    Everything here is a function of the *sorted key array* alone
+    (plus ``leaf_size``/``depth``), so it is shared verbatim between a
+    build and any later build over identical sorted keys.
+    """
+
+    __slots__ = ("key", "level", "lo", "hi", "is_leaf",
+                 "child_ptr", "child_index", "leaf_order")
+
+    def __init__(self, key, level, lo, hi, is_leaf,
+                 child_ptr, child_index, leaf_order):
+        self.key = key                  # (M,) uint64
+        self.level = level              # (M,) int64
+        self.lo = lo                    # (M,) int64
+        self.hi = hi                    # (M,) int64
+        self.is_leaf = is_leaf          # (M,) bool
+        self.child_ptr = child_ptr      # (M+1,) int64 CSR offsets
+        self.child_index = child_index  # flat child indices, octant order
+        self.leaf_order = leaf_order    # leaf indices sorted by lo
+
+
 class HashedOctree:
     """Builds and owns the hashed octree for one particle snapshot."""
 
     def __init__(self, pos: np.ndarray, mass: np.ndarray,
                  leaf_size: int = 16, depth: int = MAX_DEPTH,
                  bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None,
-                 quadrupoles: bool = False):
+                 quadrupoles: bool = False,
+                 _order_hint: Optional[np.ndarray] = None,
+                 _topology_hint: Optional[
+                     Tuple[np.ndarray, "_Topology"]] = None):
         pos = np.asarray(pos, dtype=np.float64)
         mass = np.asarray(mass, dtype=np.float64)
         n = len(pos)
@@ -83,10 +140,19 @@ class HashedOctree:
         self.box_hi = centre + half
 
         keys = particle_keys(pos, self.box_lo, self.box_hi, self.depth)
-        self.order = np.argsort(keys, kind="stable")
-        self.keys = keys[self.order]
-        self.pos = pos[self.order]
-        self.mass = mass[self.order]
+        #: True when the cached sort permutation was still valid.
+        self.order_reused = False
+        order = None
+        if _order_hint is not None and _order_hint.shape == keys.shape:
+            if _stable_order_valid(keys, _order_hint):
+                order = _order_hint
+                self.order_reused = True
+        if order is None:
+            order = np.argsort(keys, kind="stable")
+        self.order = order
+        self.keys = keys[order]
+        self.pos = pos[order]
+        self.mass = mass[order]
 
         # Prefix sums make any cell's monopole O(1).
         self._cum_mass = np.concatenate(([0.0], np.cumsum(self.mass)))
@@ -107,66 +173,197 @@ class HashedOctree:
         else:
             self._cum_m2 = None
 
+        #: "built" | "topology_reuse" | "full_reuse" - how the last
+        #: build of this tree object was satisfied.
+        self.build_kind = "built"
+        if (_topology_hint is not None
+                and np.array_equal(self.keys, _topology_hint[0])):
+            self._topology = _topology_hint[1]
+            self.build_kind = "topology_reuse"
+        else:
+            self._topology = self._build_topology()
+
         self.nodes: Dict[int, TreeNode] = {}
         self._leaf_keys: List[int] = []
-        self._build()
+        self._finalize(self._topology)
 
     # -- construction ------------------------------------------------------
 
-    def _moments(self, lo: int, hi: int) -> Tuple[float, np.ndarray]:
-        m = self._cum_mass[hi] - self._cum_mass[lo]
-        if m <= 0:
-            return 0.0, 0.5 * (self.box_lo + self.box_hi)
-        com = (self._cum_mpos[hi] - self._cum_mpos[lo]) / m
-        return float(m), com
+    def _build_topology(self) -> _Topology:
+        """The stack walk: node slices, leaf flags and child lists.
 
-    def _make_node(self, key: int, level: int, lo: int, hi: int,
-                   is_leaf: bool) -> TreeNode:
-        mass, com = self._moments(lo, hi)
-        centre, size = cell_geometry(key, self.box_lo, self.box_hi, self.depth)
-        quad = None
-        if self.quadrupoles_enabled and mass > 0:
-            from repro.nbody.multipole import quadrupole_from_sums
-            second = self._cum_m2[hi] - self._cum_m2[lo]
-            quad = quadrupole_from_sums(mass, com, second)
-        node = TreeNode(
-            key=key, level=level, lo=lo, hi=hi, mass=mass, com=com,
-            centre=centre, size=size, is_leaf=is_leaf, quadrupole=quad,
-        )
-        self.nodes[key] = node
-        if is_leaf:
-            self._leaf_keys.append(key)
-        return node
-
-    def _build(self) -> None:
-        n = len(self.keys)
-        stack: List[Tuple[int, int, int, int]] = [(ROOT_KEY, 0, 0, n)]
+        Creation (pop) order is the depth-first order the traversal
+        visits nodes in; flat node indices are assigned in that order.
+        """
+        keys = self.keys
+        n = len(keys)
+        node_key: List[int] = []
+        node_level: List[int] = []
+        node_lo: List[int] = []
+        node_hi: List[int] = []
+        node_leaf: List[bool] = []
+        parents: List[int] = []
+        # (key, level, lo, hi, parent index)
+        stack: List[Tuple[int, int, int, int, int]] = [
+            (ROOT_KEY, 0, 0, n, -1)
+        ]
         while stack:
-            key, level, lo, hi = stack.pop()
+            key, level, lo, hi, parent = stack.pop()
+            index = len(node_key)
             count = hi - lo
-            if count <= self.leaf_size or level >= self.depth:
-                self._make_node(key, level, lo, hi, is_leaf=True)
+            is_leaf = count <= self.leaf_size or level >= self.depth
+            node_key.append(key)
+            node_level.append(level)
+            node_lo.append(lo)
+            node_hi.append(hi)
+            node_leaf.append(is_leaf)
+            parents.append(parent)
+            if is_leaf:
                 continue
-            node = self._make_node(key, level, lo, hi, is_leaf=False)
             shift = np.uint64(3 * (self.depth - level - 1))
-            children: List[int] = []
+            base = key << 3
             boundaries = [lo]
-            base = (key << 3)
             for octant in range(1, 8):
                 probe = np.uint64(base + octant) << shift
                 boundaries.append(
                     lo + int(np.searchsorted(
-                        self.keys[lo:hi], probe, side="left"
+                        keys[lo:hi], probe, side="left"
                     ))
                 )
             boundaries.append(hi)
             for octant in range(8):
                 clo, chi = boundaries[octant], boundaries[octant + 1]
                 if chi > clo:
-                    ckey = base | octant
-                    children.append(ckey)
-                    stack.append((ckey, level + 1, clo, chi))
-            node.children = tuple(children)
+                    stack.append((base | octant, level + 1, clo, chi, index))
+
+        m = len(node_key)
+        child_lists: List[List[int]] = [[] for _ in range(m)]
+        for index, parent in enumerate(parents):
+            if parent >= 0:
+                child_lists[parent].append(index)
+        # A parent's children are created deepest-octant first (stack
+        # pop order); the children tuple lists them octant-ascending.
+        counts = np.empty(m, dtype=np.int64)
+        flat: List[int] = []
+        for index, lst in enumerate(child_lists):
+            lst.reverse()
+            counts[index] = len(lst)
+            flat.extend(lst)
+        child_ptr = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int64)
+        child_index = np.asarray(flat, dtype=np.int64)
+        lo_arr = np.asarray(node_lo, dtype=np.int64)
+        leaf_arr = np.asarray(node_leaf, dtype=bool)
+        leaf_indices = np.flatnonzero(leaf_arr)
+        leaf_order = leaf_indices[
+            np.argsort(lo_arr[leaf_indices], kind="stable")
+        ]
+        return _Topology(
+            key=np.asarray(node_key, dtype=np.uint64),
+            level=np.asarray(node_level, dtype=np.int64),
+            lo=lo_arr,
+            hi=np.asarray(node_hi, dtype=np.int64),
+            is_leaf=leaf_arr,
+            child_ptr=child_ptr,
+            child_index=child_index,
+            leaf_order=leaf_order,
+        )
+
+    def _finalize(self, topo: _Topology) -> None:
+        """Vectorised moments + geometry for every node at once.
+
+        Elementwise-identical to evaluating ``_moments`` and
+        :func:`repro.nbody.morton.cell_geometry` one node at a time
+        (the pre-batching construction), so the resulting nodes are
+        bit-identical - the equivalence tests assert as much.
+        """
+        lo, hi = topo.lo, topo.hi
+        m = self._cum_mass[hi] - self._cum_mass[lo]
+        positive = m > 0
+        mid = 0.5 * (self.box_lo + self.box_hi)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            com = (self._cum_mpos[hi] - self._cum_mpos[lo]) / m[:, None]
+        com = np.where(positive[:, None], com, mid)
+        mass = np.where(positive, m, 0.0)
+
+        # Geometry: decode every node key in one shot.
+        levels = topo.level
+        sentinel = np.uint64(1) << (3 * levels).astype(np.uint64)
+        code = topo.key & ~sentinel
+        full = code << (3 * (self.depth - levels)).astype(np.uint64)
+        ix, iy, iz = morton_decode(full)
+        cells = 1 << self.depth
+        span = self.box_hi - self.box_lo
+        grid = np.stack(
+            [ix.astype(np.float64), iy.astype(np.float64),
+             iz.astype(np.float64)], axis=1,
+        )
+        origin = self.box_lo + grid / cells * span
+        size_vec = span[None, :] / (2.0 ** levels)[:, None]
+        centre = origin + 0.5 * size_vec
+        size = np.max(size_vec, axis=1)
+
+        quad = None
+        if self.quadrupoles_enabled:
+            second = self._cum_m2[hi] - self._cum_m2[lo]
+            shifted = second - (
+                mass[:, None, None] * (com[:, :, None] * com[:, None, :])
+            )
+            trace = shifted[:, 0, 0] + shifted[:, 1, 1] + shifted[:, 2, 2]
+            quad = 3.0 * shifted - trace[:, None, None] * _EYE3
+
+        self.node_key = topo.key
+        self.node_level = levels
+        self.node_lo = lo
+        self.node_hi = hi
+        self.node_is_leaf = topo.is_leaf
+        self.node_mass = mass
+        self.node_com = com
+        self.node_centre = centre
+        self.node_size = size
+        self.node_quad = quad
+        self.child_ptr = topo.child_ptr
+        self.child_index = topo.child_index
+        self.leaf_order = topo.leaf_order
+        self.root_index = 0
+
+        key_ints = topo.key.tolist()
+        level_ints = topo.level.tolist()
+        lo_ints = lo.tolist()
+        hi_ints = hi.tolist()
+        leaf_flags = topo.is_leaf.tolist()
+        mass_floats = mass.tolist()
+        size_floats = size.tolist()
+        pos_flags = positive.tolist()
+        cptr = topo.child_ptr
+        cidx = topo.child_index
+        nodes = self.nodes
+        leaf_keys = self._leaf_keys
+        for i, key in enumerate(key_ints):
+            children = tuple(
+                key_ints[j] for j in cidx[cptr[i]:cptr[i + 1]]
+            )
+            node = TreeNode(
+                key=key,
+                level=level_ints[i],
+                lo=lo_ints[i],
+                hi=hi_ints[i],
+                mass=mass_floats[i],
+                com=com[i],
+                centre=centre[i],
+                size=size_floats[i],
+                is_leaf=leaf_flags[i],
+                index=i,
+                children=children,
+                quadrupole=(
+                    quad[i]
+                    if quad is not None and pos_flags[i] else None
+                ),
+            )
+            nodes[key] = node
+            if leaf_flags[i]:
+                leaf_keys.append(key)
 
     # -- queries -----------------------------------------------------------
 
@@ -185,9 +382,9 @@ class HashedOctree:
         levels (a deeper key is numerically larger than every shallower
         one), but the slices tile [0, N) along the curve by construction.
         """
-        for key in sorted(self._leaf_keys,
-                          key=lambda k: self.nodes[k].lo):
-            yield self.nodes[key]
+        key = self.node_key
+        for i in self.leaf_order:
+            yield self.nodes[int(key[i])]
 
     def node_count(self) -> int:
         return len(self.nodes)
@@ -230,6 +427,11 @@ class HashedOctree:
         if not np.isclose(root.mass, total_mass, rtol=1e-12):
             raise AssertionError("root mass != total mass")
         for node in self.nodes.values():
+            if self.nodes[ancestor_at_level(node.key, key_level(node.key))
+                          ] is not node:
+                raise AssertionError("node key inconsistent with hash")
+            if node.index < 0 or int(self.node_key[node.index]) != node.key:
+                raise AssertionError("flat index out of sync with key")
             if node.is_leaf:
                 if node.count > self.leaf_size and node.level < self.depth:
                     raise AssertionError("oversized leaf above max depth")
@@ -248,3 +450,105 @@ class HashedOctree:
             child_mass = sum(self.nodes[c].mass for c in node.children)
             if not np.isclose(child_mass, node.mass, rtol=1e-9, atol=1e-12):
                 raise AssertionError("child masses do not sum to parent")
+
+
+def _stable_order_valid(keys: np.ndarray, order: np.ndarray) -> bool:
+    """Would ``argsort(keys, kind="stable")`` return exactly *order*?
+
+    True iff the keys are non-decreasing under *order* and every run of
+    equal keys keeps the original indices ascending (the stable-sort
+    tie rule).  O(N) versus the O(N log N) re-sort it avoids.
+    """
+    ks = keys[order]
+    if ks.size <= 1:
+        return True
+    nondecreasing = ks[1:] >= ks[:-1]
+    if not nondecreasing.all():
+        return False
+    ties = ks[1:] == ks[:-1]
+    if not ties.any():
+        return True
+    return bool((order[1:][ties] > order[:-1][ties]).all())
+
+
+class TreeBuildCache:
+    """Incremental rebuilds: reuse whatever the last build proves valid.
+
+    One cache serves one stream of snapshots (an integrator advancing a
+    particle set, or the replicated-tree ranks of the parallel code all
+    building the same step's tree).  ``build`` is a drop-in for the
+    :class:`HashedOctree` constructor and returns bit-identical trees;
+    the counters record how much work each call actually did:
+
+    - **full reuse** - identical particles and parameters: the cached
+      tree object is returned as-is;
+    - **topology reuse** - identical sorted keys: the node structure
+      (slices, children, leaf set) is shared and only moments and
+      geometry are recomputed (vectorised);
+    - **order reuse** - the cached sort permutation still stably sorts
+      the new keys (particles barely move between integrator steps), so
+      the O(N log N) argsort is skipped;
+    - otherwise a **rebuild** runs from scratch.
+    """
+
+    def __init__(self) -> None:
+        self._tree: Optional[HashedOctree] = None
+        self._pos: Optional[np.ndarray] = None
+        self._mass: Optional[np.ndarray] = None
+        self._params: Optional[tuple] = None
+        self._bounds: Optional[tuple] = None
+        self.full_reuses = 0
+        self.topology_reuses = 0
+        self.order_reuses = 0
+        self.rebuilds = 0
+
+    @property
+    def reuses(self) -> int:
+        """Builds that skipped node construction entirely."""
+        return self.full_reuses + self.topology_reuses
+
+    def build(self, pos: np.ndarray, mass: np.ndarray,
+              leaf_size: int = 16, depth: int = MAX_DEPTH,
+              bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+              quadrupoles: bool = False) -> HashedOctree:
+        pos = np.asarray(pos, dtype=np.float64)
+        mass = np.asarray(mass, dtype=np.float64)
+        params = (leaf_size, min(depth, MAX_DEPTH), quadrupoles)
+        bounds_key = (
+            None if bounds is None else
+            (np.asarray(bounds[0], dtype=np.float64).tobytes(),
+             np.asarray(bounds[1], dtype=np.float64).tobytes())
+        )
+        comparable = (
+            self._tree is not None
+            and self._params == params
+            and self._bounds == bounds_key
+            and self._pos.shape == pos.shape
+        )
+        if (comparable and np.array_equal(pos, self._pos)
+                and np.array_equal(mass, self._mass)):
+            self.full_reuses += 1
+            tree = self._tree
+            tree.build_kind = "full_reuse"
+            return tree
+        order_hint = self._tree.order if comparable else None
+        topology_hint = (
+            (self._tree.keys, self._tree._topology) if comparable else None
+        )
+        tree = HashedOctree(
+            pos, mass, leaf_size=leaf_size, depth=depth, bounds=bounds,
+            quadrupoles=quadrupoles, _order_hint=order_hint,
+            _topology_hint=topology_hint,
+        )
+        if tree.build_kind == "topology_reuse":
+            self.topology_reuses += 1
+        else:
+            self.rebuilds += 1
+        if tree.order_reused:
+            self.order_reuses += 1
+        self._tree = tree
+        self._pos = pos.copy()
+        self._mass = mass.copy()
+        self._params = params
+        self._bounds = bounds_key
+        return tree

@@ -1,0 +1,112 @@
+"""Process-pool bench runner: fan seeded points across host cores.
+
+The sweep-shaped workloads (``scaling_study`` CPU counts, sched
+policy/seed sweeps, ablation grids) are embarrassingly parallel: every
+point is a pure function of its seed and parameters, and the simulated
+results are deterministic.  This module fans such points over a
+``multiprocessing`` pool while keeping the merged output byte-identical
+to a serial run:
+
+- points are dispatched with ``Pool.map``, which preserves submission
+  order, so the merge is a plain ordered list — no reduction whose
+  result could depend on completion order;
+- workers must be module-level functions of one picklable argument
+  (closures do not survive the fork);
+- ``jobs <= 1`` short-circuits to an in-process loop, byte-for-byte the
+  pre-pool code path, which is what determinism-sensitive CI runs.
+
+Wall-clock instrumentation lives here too: ``best_of`` times a callable
+(best-of-N, since single-shot timings on a shared host are noisy) and
+``write_bench_json`` emits the machine-readable ``BENCH_*.json`` files
+the CI bench-smoke job archives, so the perf trajectory has a baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List
+
+__all__ = [
+    "TimedResult",
+    "bench_quick",
+    "best_of",
+    "parallel_map",
+    "write_bench_json",
+]
+
+
+def bench_quick() -> bool:
+    """True when ``REPRO_BENCH_QUICK`` asks for the CI smoke sizes."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any],
+                 jobs: int = 1) -> List[Any]:
+    """Map *fn* over *items*, optionally across *jobs* processes.
+
+    Returns results in input order regardless of completion order, so
+    the merged output of ``jobs=N`` is byte-identical to ``jobs=1``
+    whenever *fn* itself is deterministic.  With ``jobs <= 1`` (or a
+    single item, or no ``fork`` start method on this platform) the map
+    runs inline in this process.
+    """
+    work = list(items)
+    if jobs is None or jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        ctx = get_context("fork")
+    except ValueError:             # platform without fork: stay serial
+        return [fn(item) for item in work]
+    with ctx.Pool(processes=min(jobs, len(work))) as pool:
+        return pool.map(fn, work)
+
+
+@dataclass
+class TimedResult:
+    """Value plus wall-clock samples from :func:`best_of`."""
+
+    value: Any
+    times_s: List[float] = field(default_factory=list)
+
+    @property
+    def best_s(self) -> float:
+        return min(self.times_s)
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.times_s) / len(self.times_s)
+
+
+def best_of(fn: Callable[[], Any], repeats: int = 3) -> TimedResult:
+    """Run *fn* ``repeats`` times; keep the last value and every timing.
+
+    Best-of-N is the standard defence against timer noise on a shared
+    host: the minimum approaches the true cost as N grows, while means
+    absorb whatever else the machine was doing.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    times: List[float] = []
+    value: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        times.append(time.perf_counter() - t0)
+    return TimedResult(value=value, times_s=times)
+
+
+def write_bench_json(path: os.PathLike, payload: Dict[str, Any]) -> Path:
+    """Write one ``BENCH_*.json`` report; returns the resolved path.
+
+    Keys are sorted so reruns with identical measurements produce
+    identical bytes (the artifact diff then shows only real movement).
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out

@@ -1,0 +1,238 @@
+"""Fast-path treecode: batched traversal equivalence, tree reuse,
+and the parallel bench runner.
+
+The batched traversal is only allowed to exist because it is
+bit-identical to the naive per-group walk; these tests pin that
+contract across the MAC parameter, the quadrupole expansion, the Karp
+reciprocal-sqrt kernel, slice mode, and whole simulations, then cover
+the tree-reuse tiers and the deterministic process-pool runner.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.nbody.ic import plummer_sphere, two_clusters
+from repro.nbody.sim import NBodySimulation, SimConfig
+from repro.nbody.traversal import (
+    TraversalStats,
+    _concat_ranges,
+    _sorted_pairs,
+    leaf_aligned_partition,
+    tree_accelerations,
+)
+from repro.nbody.tree import HashedOctree, TreeBuildCache
+from repro.runner import best_of, parallel_map, write_bench_json
+
+
+def _both_paths(tree, **kw):
+    acc_n, st_n = tree_accelerations(tree, naive=True, **kw)
+    acc_b, st_b = tree_accelerations(tree, naive=False, **kw)
+    return (acc_n, st_n), (acc_b, st_b)
+
+
+def _assert_stats_equal(st_n: TraversalStats, st_b: TraversalStats):
+    assert st_n.particle_cell == st_b.particle_cell
+    assert st_n.particle_particle == st_b.particle_particle
+    assert st_n.nodes_opened == st_b.nodes_opened
+    assert st_n.groups == st_b.groups
+    assert list(st_n.group_work) == list(st_b.group_work)
+
+
+@pytest.mark.parametrize("theta", [0.3, 0.7, 1.1])
+@pytest.mark.parametrize("use_quadrupole", [False, True])
+@pytest.mark.parametrize("use_karp", [False, True])
+def test_batched_bit_identical_to_naive(theta, use_quadrupole, use_karp):
+    pos, _, mass = two_clusters(700, seed=2001)
+    tree = HashedOctree(pos, mass, leaf_size=8,
+                        quadrupoles=use_quadrupole)
+    (acc_n, st_n), (acc_b, st_b) = _both_paths(
+        tree, theta=theta, softening=1e-2, use_karp=use_karp,
+        use_quadrupole=use_quadrupole,
+    )
+    assert np.array_equal(acc_n, acc_b)
+    _assert_stats_equal(st_n, st_b)
+
+
+def test_batched_bit_identical_zero_softening():
+    # eps = 0 exercises the masked self-pair handling in both paths.
+    pos, _, mass = two_clusters(500, seed=11)
+    tree = HashedOctree(pos, mass, leaf_size=16)
+    for use_karp in (False, True):
+        (acc_n, st_n), (acc_b, st_b) = _both_paths(
+            tree, theta=0.7, softening=0.0, use_karp=use_karp,
+        )
+        assert np.array_equal(acc_n, acc_b)
+        _assert_stats_equal(st_n, st_b)
+
+
+def test_batched_bit_identical_slice_mode():
+    pos, _, mass = plummer_sphere(900, seed=5)
+    tree = HashedOctree(pos, mass, leaf_size=16)
+    for lo, hi in leaf_aligned_partition(tree, 3):
+        (acc_n, st_n), (acc_b, st_b) = _both_paths(
+            tree, theta=0.7, softening=1e-2, target_slice=(lo, hi),
+        )
+        assert np.array_equal(acc_n, acc_b)
+        _assert_stats_equal(st_n, st_b)
+
+
+def test_simulation_naive_flag_is_bit_identical():
+    results = {}
+    for naive in (False, True):
+        cfg = SimConfig(n=400, steps=3, ic="collision", seed=13,
+                        naive_traversal=naive)
+        results[naive] = NBodySimulation(cfg).run()
+    fast, ref = results[False], results[True]
+    assert np.array_equal(fast.pos, ref.pos)
+    assert np.array_equal(fast.vel, ref.vel)
+    assert fast.total_flops == ref.total_flops
+    assert (
+        [(r.flops, r.interactions, r.nodes) for r in fast.records]
+        == [(r.flops, r.interactions, r.nodes) for r in ref.records]
+    )
+    assert fast.energy_initial == ref.energy_initial
+    assert fast.energy_final == ref.energy_final
+
+
+def test_sim_reports_tree_counters_on_fast_path():
+    cfg = SimConfig(n=300, steps=2, ic="collision", seed=3)
+    sim = NBodySimulation(cfg)
+    sim.run(compute_energy=False)
+    stats = sim._last_stats
+    assert stats.tree_rebuilds + stats.tree_reuses >= 1
+    assert stats.tree_rebuilds == sim._tree_cache.rebuilds
+
+
+# -- helper properties -----------------------------------------------------
+
+
+def test_concat_ranges_matches_listcomp():
+    rng = np.random.default_rng(0)
+    for trial in range(50):
+        k = int(rng.integers(1, 30))
+        starts = rng.integers(0, 500, k).astype(np.int64)
+        counts = rng.integers(0, 7, k).astype(np.int64)
+        if trial % 2:
+            counts[counts == 0] = 1   # exercise the all-nonempty path
+        ref = (
+            np.concatenate([np.arange(s, s + c)
+                            for s, c in zip(starts, counts)])
+            if counts.sum() else np.empty(0, np.int64)
+        )
+        assert np.array_equal(_concat_ranges(starts, counts), ref)
+        assert np.array_equal(
+            _concat_ranges(starts, counts, "test_scratch").copy(), ref
+        )
+
+
+def test_sorted_pairs_matches_lexsort():
+    rng = np.random.default_rng(1)
+    for _ in range(30):
+        g = rng.integers(0, 40, 300).astype(np.int64)
+        n = rng.integers(0, 1000, 300).astype(np.int64)
+        _, idx = np.unique(g * 10_000 + n, return_index=True)
+        g, n = g[idx], n[idx]   # pairs must be unique, as in the walk
+        chunks = np.array_split(np.arange(len(g)), 4)
+        rg, rn = _sorted_pairs([g[c] for c in chunks],
+                               [n[c] for c in chunks])
+        order = np.lexsort((n, g))
+        assert np.array_equal(rg, g[order])
+        assert np.array_equal(rn, n[order])
+    assert _sorted_pairs([], [])[0].size == 0
+
+
+# -- incremental tree reuse ------------------------------------------------
+
+
+def test_tree_cache_full_reuse_identical_snapshot():
+    pos, _, mass = two_clusters(300, seed=7)
+    cache = TreeBuildCache()
+    t1 = cache.build(pos, mass, leaf_size=8)
+    t2 = cache.build(pos, mass, leaf_size=8)
+    assert t2 is t1
+    assert cache.rebuilds == 1
+    assert cache.full_reuses == 1
+
+
+def test_tree_cache_reuse_is_bit_identical_on_perturbation():
+    pos, _, mass = two_clusters(300, seed=7)
+    cache = TreeBuildCache()
+    cache.build(pos, mass, leaf_size=8)
+    moved = pos + 1e-9             # tiny drift: keys and order survive
+    cached = cache.build(moved, mass, leaf_size=8)
+    fresh = HashedOctree(moved, mass, leaf_size=8)
+    assert cache.reuses + cache.order_reuses >= 1
+    for name in ("node_key", "node_lo", "node_hi", "node_mass",
+                 "node_com", "node_size", "child_ptr", "child_index"):
+        assert np.array_equal(getattr(cached, name), getattr(fresh, name))
+    acc_c, _ = tree_accelerations(cached, theta=0.7, softening=1e-2)
+    acc_f, _ = tree_accelerations(fresh, theta=0.7, softening=1e-2)
+    assert np.array_equal(acc_c, acc_f)
+
+
+def test_tree_cache_rebuilds_on_parameter_change():
+    pos, _, mass = two_clusters(300, seed=7)
+    cache = TreeBuildCache()
+    cache.build(pos, mass, leaf_size=8)
+    cache.build(pos, mass, leaf_size=16)
+    assert cache.rebuilds == 2
+    assert cache.full_reuses == 0
+
+
+# -- parallel bench runner -------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def test_parallel_map_matches_serial_and_preserves_order():
+    items = list(range(23))
+    serial = parallel_map(_square, items, jobs=1)
+    pooled = parallel_map(_square, items, jobs=2)
+    assert serial == [x * x for x in items]
+    assert pooled == serial
+    assert parallel_map(_square, [], jobs=4) == []
+    assert parallel_map(_square, [5], jobs=4) == [25]
+
+
+def test_scaling_study_pooled_equals_serial():
+    from repro.core.system import BladedBeowulf
+
+    machine = BladedBeowulf.metablade()
+    cfg = SimConfig(n=256, steps=1, ic="collision", seed=2001)
+    serial = machine.nbody_scaling(cfg, cpu_counts=(1, 2), jobs=1)
+    pooled = machine.nbody_scaling(cfg, cpu_counts=(1, 2), jobs=2)
+    assert [
+        (p.cpus, p.time_s, p.speedup, p.efficiency, p.comm_fraction)
+        for p in serial
+    ] == [
+        (p.cpus, p.time_s, p.speedup, p.efficiency, p.comm_fraction)
+        for p in pooled
+    ]
+
+
+def test_cli_pooled_sweeps_smoke(capsys):
+    from repro.cli import main
+
+    assert main(["fig3", "--particles", "300", "--seeds", "2001", "7",
+                 "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("Figure 3") == 2   # one block per seed
+    assert main(["table2", "--cpus", "1", "2", "--particles", "256",
+                 "--jobs", "2"]) == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_best_of_and_write_bench_json(tmp_path):
+    timed = best_of(lambda: 41 + 1, repeats=3)
+    assert timed.value == 42
+    assert len(timed.times_s) == 3
+    assert timed.best_s <= timed.mean_s
+
+    path = write_bench_json(tmp_path / "sub" / "BENCH_x.json",
+                            {"bench": "x", "speedup": 3.0})
+    data = json.loads(path.read_text())
+    assert data == {"bench": "x", "speedup": 3.0}
