@@ -1,0 +1,116 @@
+"""``python -m repro.cli check``: the checking layer's front end.
+
+Modes (mutually exclusive):
+
+- ``--fuzz``            run the differential fuzz campaign
+- ``--record PATH``     record a run manifest (``--kind`` picks the
+                        recipe: sched | simmpi | table2 | fig3)
+- ``--replay PATH``     replay-verify any saved manifest
+
+Exit status is non-zero on any divergence or fuzz failure, and
+divergence reports are written under ``--out`` so CI can upload them
+as artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--fuzz", action="store_true",
+                      help="run the differential fuzz campaign")
+    mode.add_argument("--record", metavar="PATH", default=None,
+                      help="record a run manifest to PATH")
+    mode.add_argument("--replay", metavar="PATH", default=None,
+                      help="replay-verify the manifest at PATH")
+    parser.add_argument("--kind", default="sched",
+                        choices=["sched", "simmpi", "table2", "fig3"],
+                        help="what --record records (default: sched)")
+    parser.add_argument("--seed", type=int, default=2001,
+                        help="campaign / manifest seed")
+    parser.add_argument("--cases", type=int, default=None,
+                        help="fuzz cases (default: 216 quick, 600 full)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small fuzz parameter ranges (CI smoke)")
+    parser.add_argument("--out", metavar="DIR", default="check_reports",
+                        help="directory for divergence/fuzz reports")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="sched recording: jobs in the stream")
+    parser.add_argument("--policy", default="fcfs",
+                        choices=["fcfs", "backfill", "easy"],
+                        help="sched recording: queue policy")
+    parser.add_argument("--fail-inject", action="store_true",
+                        help="sched recording: inject Poisson failures")
+    parser.add_argument("--checkpoint", type=int, default=0,
+                        help="sched recording: checkpoint every N units")
+
+
+def _write_report(out_dir: str, name: str, text: str) -> Path:
+    path = Path(out_dir) / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+    return path
+
+
+def cmd_check(args) -> int:
+    from repro.check import (
+        RunManifest,
+        record_fig3_manifest,
+        record_sched_manifest,
+        record_simmpi_manifest,
+        record_table2_manifest,
+        replay_manifest,
+        run_fuzz,
+    )
+
+    if args.fuzz:
+        cases = args.cases
+        if cases is None:
+            cases = 216 if args.quick else 600
+        report = run_fuzz(
+            cases=cases, seed=args.seed, quick=args.quick,
+            out_dir=args.out,
+        )
+        print(report.format())
+        if not report.ok:
+            path = _write_report(args.out, "fuzz_report.txt",
+                                 report.format())
+            print(f"fuzz report written to {path}")
+            return 1
+        return 0
+
+    if args.record is not None:
+        if args.kind == "sched":
+            manifest = record_sched_manifest(
+                seed=args.seed, jobs=args.jobs, policy=args.policy,
+                fail_inject=args.fail_inject,
+                checkpoint=args.checkpoint,
+            )
+        elif args.kind == "simmpi":
+            manifest = record_simmpi_manifest(seed=args.seed)
+        elif args.kind == "table2":
+            manifest = record_table2_manifest(seed=args.seed)
+        else:
+            manifest = record_fig3_manifest(seed=args.seed)
+        path = manifest.save(args.record)
+        print(
+            f"recorded {manifest.kind} manifest: {len(manifest.events)} "
+            f"events, config {manifest.config_hash[:12]}, -> {path}"
+        )
+        return 0
+
+    manifest = RunManifest.load(args.replay)
+    report = replay_manifest(manifest)
+    print(report.format())
+    if not report.ok:
+        path = _write_report(
+            args.out,
+            f"divergence_{manifest.kind}_{manifest.config_hash[:12]}.txt",
+            report.format(),
+        )
+        print(f"divergence report written to {path}")
+        return 1
+    return 0

@@ -13,6 +13,9 @@ Usage::
     python -m repro.cli timeline --ranks 6   # the unified event timeline
     python -m repro.cli timeline --fail-rank 2 --fail-at 0.05
     python -m repro.cli sched --jobs 200 --policy backfill --fail-inject
+    python -m repro.cli check --fuzz --quick # differential fuzz campaign
+    python -m repro.cli check --record m.json --fail-inject --checkpoint 1
+    python -m repro.cli check --replay m.json
     python -m repro.cli all                  # everything (minutes)
 """
 
@@ -171,6 +174,12 @@ def _cmd_sched(args) -> None:
     print("\n\n".join(blocks))
 
 
+def _cmd_check(args) -> int:
+    from repro.check.cli import cmd_check
+
+    return cmd_check(args)
+
+
 def _cmd_topper(_args) -> None:
     print(experiment_topper().text)
 
@@ -296,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N",
                     help="host processes for the --seeds sweep "
                          "(--jobs is the stream length here)")
+    pc = sub.add_parser(
+        "check",
+        help="deterministic replay, invariant audit, differential fuzz",
+    )
+    from repro.check.cli import add_check_arguments
+    add_check_arguments(pc)
     pa = sub.add_parser("all", help="everything (takes minutes)")
     pa.add_argument("--particles", type=int, default=3000)
     pa.add_argument("--cpus", type=int, nargs="+", default=[1, 4, 24])
@@ -316,6 +331,7 @@ _HANDLERS = {
     "fig3": _cmd_fig3,
     "timeline": _cmd_timeline,
     "sched": _cmd_sched,
+    "check": _cmd_check,
     "topper": _cmd_topper,
     "green500": _cmd_green500,
     "all": _cmd_all,
@@ -324,8 +340,8 @@ _HANDLERS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    _HANDLERS[args.command](args)
-    return 0
+    status = _HANDLERS[args.command](args)
+    return int(status) if status is not None else 0
 
 
 if __name__ == "__main__":

@@ -90,6 +90,14 @@ class EventKernel:
         self.timeline: List[TimelineEvent] = []
         self._heap: List[Event] = []
         self._seq = 0
+        #: Trace observers: called with every TimelineEvent as it is
+        #: emitted, whether or not the kernel keeps a timeline itself.
+        #: The repro.check recorder and auditors register here.
+        self._observers: List[Callable[[TimelineEvent], None]] = []
+        #: Fire hooks: called with each Event as it is dequeued, before
+        #: its callback runs.  Kernel-level auditors (clock
+        #: monotonicity, tie-break order) watch the loop through these.
+        self._fire_hooks: List[Callable[[Event], None]] = []
 
     # -- scheduling --------------------------------------------------------
 
@@ -134,6 +142,9 @@ class EventKernel:
                 continue
             self.now = max(self.now, event.time)
             self.fired += 1
+            if self._fire_hooks:
+                for hook in self._fire_hooks:
+                    hook(event)
             event.fn(*event.args)
             return True
         return False
@@ -151,19 +162,49 @@ class EventKernel:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else float("inf")
 
+    def next_times(self, limit: int = 3) -> List[float]:
+        """Fire times of the next few live events (diagnostics)."""
+        times = sorted(
+            (e.time, e.seq) for e in self._heap if not e.cancelled
+        )
+        return [t for t, _ in times[:limit]]
+
     # -- timeline ----------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        """True when trace() actually does something (timeline kept or
+        at least one observer registered) — producers guard any
+        non-trivial field computation behind this."""
+        return self.record_timeline or bool(self._observers)
+
+    def add_observer(self, fn: Callable[[TimelineEvent], None]) -> None:
+        """Stream every traced event to *fn* (recorder/auditor hook)."""
+        self._observers.append(fn)
+
+    def remove_observer(self, fn: Callable[[TimelineEvent], None]) -> None:
+        self._observers.remove(fn)
+
+    def add_fire_hook(self, fn: Callable[[Event], None]) -> None:
+        """Call *fn* with each event as it is dequeued (auditor hook)."""
+        self._fire_hooks.append(fn)
+
+    def remove_fire_hook(self, fn: Callable[[Event], None]) -> None:
+        self._fire_hooks.remove(fn)
 
     def trace(self, kind: str, time: Optional[float] = None,
               **fields: Any) -> None:
         """Record one timeline entry (no-op unless recording)."""
-        if self.record_timeline:
-            self.timeline.append(
-                TimelineEvent(
-                    time=self.now if time is None else time,
-                    kind=kind,
-                    fields=tuple(fields.items()),
-                )
+        if self.record_timeline or self._observers:
+            event = TimelineEvent(
+                time=self.now if time is None else time,
+                kind=kind,
+                fields=tuple(fields.items()),
             )
+            if self.record_timeline:
+                self.timeline.append(event)
+            for observer in self._observers:
+                observer(event)
 
     def sorted_timeline(self) -> List[TimelineEvent]:
         """The timeline in virtual-time order (stable for ties)."""

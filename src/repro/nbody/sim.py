@@ -43,6 +43,9 @@ class SimConfig:
     ic: str = "plummer"            # plummer | cube | collision
     use_karp: bool = False
     naive_traversal: bool = False  # reference path: per-group python walk
+    #: Audit the flop ledger against the per-step traversal stats at
+    #: the end of every run (repro.check.auditors.audit_sim_result).
+    audit: bool = False
 
     def make_ic(self):
         if self.ic == "plummer":
@@ -100,6 +103,9 @@ class NBodySimulation:
         self.pos, self.vel, self.mass = config.make_ic()
         self.total_flops = 0
         self.records: List[StepRecord] = []
+        #: Per-call flop bill from :meth:`_accel`, in order.  Entry 0 is
+        #: the priming call in :meth:`run`; entries 1.. match ``records``.
+        self.flops_ledger: List[int] = []
         self._acc: Optional[np.ndarray] = None
         self._tree_cache = TreeBuildCache()
 
@@ -122,6 +128,7 @@ class NBodySimulation:
             stats.tree_rebuilds = self._tree_cache.rebuilds
             stats.tree_reuses = self._tree_cache.reuses
         flops = stats.flops + BUILD_FLOPS_PER_PARTICLE * len(pos)
+        self.flops_ledger.append(flops)
         self._last_stats = stats
         self._last_tree_nodes = tree.node_count()
         return acc, flops
@@ -153,7 +160,7 @@ class NBodySimulation:
                          softening=cfg.softening)
             if compute_energy else 0.0
         )
-        return SimResult(
+        result = SimResult(
             config=cfg,
             pos=self.pos,
             vel=self.vel,
@@ -163,6 +170,11 @@ class NBodySimulation:
             energy_initial=e0,
             energy_final=e1,
         )
+        if cfg.audit:
+            from repro.check.auditors import audit_sim_result
+
+            audit_sim_result(self, result)
+        return result
 
 
 def density_image(pos: np.ndarray, mass: np.ndarray, bins: int = 64,

@@ -73,6 +73,9 @@ class JobRecord:
     checkpoints: int = 0
     checkpoint_io_s: float = 0.0
     compute_s: float = 0.0       # useful compute of the successful attempt
+    flops: float = 0.0           # work billed on the successful attempt
+                                 # (the other side of compute_s; audited
+                                 # against the node rate by repro.check)
     failures: int = 0            # node failures that killed this job
     requeues: int = 0
     result: object = None

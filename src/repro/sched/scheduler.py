@@ -74,6 +74,9 @@ class SchedConfig:
     max_retries: int = 3
     #: Virtual seconds a failed blade stays down before repair.
     repair_s: float = 0.5
+    #: Register repro.check invariant auditors on the kernel and audit
+    #: the outcome ledgers at the end of :meth:`BatchScheduler.run`.
+    audit: bool = False
 
     def checkpoint_io_s(self, nbytes: int) -> float:
         return self.checkpoint_latency_s + nbytes / self.checkpoint_bandwidth_bps
@@ -154,6 +157,10 @@ class BatchScheduler:
         self._running: Dict[int, _RunningJob] = {}
         #: Complete checkpoints: job id -> [(unit, states, write-done clock)].
         self._checkpoints: Dict[int, List[Tuple[int, Tuple[Any, ...], float]]] = {}
+        self._auditors: List[Any] = []
+        if self.config.audit:
+            from repro.check.auditors import attach_auditors
+            self._auditors = attach_auditors(self.kernel)
 
     # -- submission ---------------------------------------------------------
 
@@ -226,7 +233,7 @@ class BatchScheduler:
         ends = [r.end_s for r in self.records.values() if r.end_s is not None]
         makespan = max(ends) if ends else self.kernel.now
         self.allocator.finish(makespan)
-        return SchedOutcome(
+        outcome = SchedOutcome(
             policy=self.policy.name,
             nodes=self.nodes,
             flop_rate=self.flop_rate,
@@ -236,6 +243,16 @@ class BatchScheduler:
             makespan_s=makespan,
             failures_injected=self.failures_injected,
         )
+        if self._auditors and until is None:
+            from repro.check.auditors import (
+                audit_sched_outcome, detach_auditors,
+            )
+            detach_auditors(self.kernel, self._auditors)
+            self._auditors = []
+            audit_sched_outcome(
+                outcome, power=self.power, flop_rate=self.flop_rate
+            )
+        return outcome
 
     # -- event handlers -----------------------------------------------------
 
@@ -354,6 +371,7 @@ class BatchScheduler:
             record.end_s = now
             record.result = result.results[0] if result.results else None
             record.compute_s += sum(s.compute_s for s in result.stats)
+            record.flops += sum(s.flops for s in result.stats)
             self._checkpoints.pop(spec.job_id, None)
             self.kernel.trace("job-complete", job=spec.job_id)
         else:

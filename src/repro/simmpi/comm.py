@@ -150,6 +150,7 @@ class RankComm:
             raise ValueError(
                 "no flop_rate given and the runtime has no node rate"
             )
+        self.stats.flops += flops
         governor = getattr(self._runtime, "governor", None)
         if governor is None:
             self.compute(flops / rate)
@@ -173,6 +174,10 @@ class RankComm:
                 self.clock = max(self.clock, msg.arrive_time)
                 self.stats.recvs += 1
                 self.stats.bytes_received += msg.nbytes
+                self._runtime.kernel.trace(
+                    "recv", time=self.clock, rank=self.rank, src=msg.src,
+                    tag=msg.tag, nbytes=msg.nbytes,
+                )
                 return msg.payload
             if src is not ANY_SOURCE and self._runtime.rank_failed(src):
                 raise NodeFailureError(

@@ -103,6 +103,8 @@ class SimMpiRuntime:
         self._mailboxes: Dict[int, List[Message]] = {}
         self._consumed = 0
         self._posted = 0
+        self._consumed0 = 0       # baselines at launch: per-world deltas
+        self._posted0 = 0         # feed the world-done conservation trace
         self._waiters: Dict[int, Tuple[RecvBlock, Process]] = {}
         self._failed: Dict[int, Tuple[float, str]] = {}
         self._tasks: Optional[List[Process]] = None
@@ -226,9 +228,13 @@ class SimMpiRuntime:
         """
         if self._tasks is not None:
             raise RuntimeError("a program is already running on this runtime")
-        # A fresh world starts with healthy nodes: failures recorded
-        # during a previous launch (e.g. a kill) don't outlive it.
+        # A fresh world starts with healthy nodes and empty mailboxes:
+        # failures recorded during a previous launch (e.g. a kill) and
+        # messages its dead ranks never drained don't outlive it.
         self._failed.clear()
+        self._mailboxes.clear()
+        self._posted0 = self._posted
+        self._consumed0 = self._consumed
         t0 = self.kernel.now if start_time is None else start_time
         comms = [
             RankComm(r, self.size, self, clock=t0) for r in range(self.size)
@@ -343,6 +349,21 @@ class SimMpiRuntime:
             ),
             start_time_s=start,
         )
+        if self.kernel.tracing:
+            # The conservation record repro.check audits: every posted
+            # message was consumed or is still sitting undelivered —
+            # and undelivered is only legal when the world saw deaths.
+            self.kernel.trace(
+                "world-done",
+                posted=self._posted - self._posted0,
+                consumed=self._consumed - self._consumed0,
+                undelivered=sum(
+                    len(box) for box in self._mailboxes.values()
+                ),
+                failed=len(result.failed_ranks),
+                kills=len(self._failed),
+                ranks=self.size,
+            )
         callback, self._on_complete = self._on_complete, None
         if callback is not None:
             callback(result)

@@ -29,6 +29,9 @@ class CommStats:
     compute_s: float = 0.0
     io_s: float = 0.0         # non-compute stalls (checkpoint writes)
     energy_j: float = 0.0     # filled when a LongRun governor is attached
+    flops: float = 0.0        # work billed through compute_flops — the
+                              # other side of the compute_s ledger that
+                              # repro.check audits against the flop rate
 
     @property
     def messages(self) -> int:
@@ -45,6 +48,7 @@ class CommStats:
             compute_s=self.compute_s + other.compute_s,
             io_s=self.io_s + other.io_s,
             energy_j=self.energy_j + other.energy_j,
+            flops=self.flops + other.flops,
         )
 
 

@@ -1,0 +1,79 @@
+"""Golden-trace regression: committed manifests must regenerate exactly.
+
+``tests/data`` holds committed manifests for the paper's two headline
+artifacts (a small Table 2 scaling sweep, a small Fig. 3 run) and one
+full batch-scheduler trace with failures and checkpointing enabled.
+Any change that moves a number in those tables — or a single event in
+the scheduler trace — fails here, naming the first divergent row or
+event instead of just a hash.
+
+Regenerate after an *intentional* change with::
+
+    python -m repro.cli check --record tests/data/golden_table2.json \
+        --kind table2
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import RunManifest, replay_manifest, verify_golden_manifest
+
+DATA = Path(__file__).parent / "data"
+
+
+def _load(name: str) -> RunManifest:
+    return RunManifest.load(DATA / name)
+
+
+@pytest.mark.parametrize("name", [
+    "golden_table2.json", "golden_fig3.json",
+])
+def test_golden_manifests_verify(name):
+    report = verify_golden_manifest(_load(name))
+    assert report.ok, report.format()
+
+
+def test_committed_sched_trace_replays_clean():
+    manifest = _load("manifest_sched_small.json")
+    assert manifest.params["fail_inject"] is True
+    assert manifest.params["checkpoint"] == 1
+    report = replay_manifest(manifest)
+    assert report.ok, report.format()
+    assert report.replayed_events == len(manifest.events)
+
+
+def test_golden_payloads_have_the_expected_shape():
+    table2 = _load("golden_table2.json")
+    assert table2.payload["headers"]
+    assert len(table2.payload["rows"]) == len(table2.params["cpus"])
+    fig3 = _load("golden_fig3.json")
+    assert fig3.payload["total_flops"] > 0
+    assert len(fig3.payload["text_sha256"]) == 64
+
+
+def test_tampered_golden_row_is_localized():
+    manifest = _load("golden_table2.json")
+    manifest.payload["rows"][1][1] = -1
+    report = verify_golden_manifest(manifest)
+    assert not report.ok
+    assert report.divergence.index == 1
+    assert "headers" in report.divergence.context
+
+
+def test_tampered_golden_scalar_is_named():
+    manifest = _load("golden_fig3.json")
+    manifest.payload["art_sha256"] = "0" * 64
+    report = verify_golden_manifest(manifest)
+    assert not report.ok
+    assert "art_sha256" in report.divergence.context[
+        "differing payload keys"
+    ]
+
+
+def test_committed_files_are_valid_canonical_json():
+    for path in sorted(DATA.glob("*.json")):
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        assert doc["config_hash"]
