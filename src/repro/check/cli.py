@@ -46,6 +46,10 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
                         help="sched recording: inject Poisson failures")
     parser.add_argument("--checkpoint", type=int, default=0,
                         help="sched recording: checkpoint every N units")
+    parser.add_argument("--platform", default="metablade",
+                        help="sched recording: registry platform to "
+                             "run on (its content-hash is recorded so "
+                             "replay detects platform drift)")
 
 
 def _write_report(out_dir: str, name: str, text: str) -> Path:
@@ -88,6 +92,7 @@ def cmd_check(args) -> int:
                 seed=args.seed, jobs=args.jobs, policy=args.policy,
                 fail_inject=args.fail_inject,
                 checkpoint=args.checkpoint,
+                platform=getattr(args, "platform", "metablade"),
             )
         elif args.kind == "simmpi":
             manifest = record_simmpi_manifest(seed=args.seed)

@@ -55,18 +55,33 @@ class Divergence:
 
 @dataclass
 class ReplayReport:
-    """Outcome of one replay-verify."""
+    """Outcome of one replay-verify.
+
+    ``platform_drift`` is a distinct failure class from trace
+    divergence: the *hardware description* behind the manifest changed
+    (the registry platform's content-hash no longer matches the one
+    recorded), so the trace was never re-executed — replaying on
+    different hardware would diff garbage.
+    """
 
     kind: str
     expected_events: int
     replayed_events: int
     divergence: Optional[Divergence] = None
+    platform_drift: Optional[str] = None
 
     @property
     def ok(self) -> bool:
-        return self.divergence is None
+        return self.divergence is None and self.platform_drift is None
 
     def format(self) -> str:
+        if self.platform_drift is not None:
+            return (
+                f"replay-verify [{self.kind}]: PLATFORM CHANGED — "
+                f"{self.platform_drift}\n"
+                "  (the hardware description drifted since recording; "
+                "the trace was not replayed)"
+            )
         if self.ok:
             return (
                 f"replay-verify [{self.kind}]: OK — "
@@ -153,6 +168,7 @@ SCHED_DEFAULTS: Dict[str, Any] = {
     "mtbf": 0.05,
     "checkpoint": 0,
     "max_retries": 3,
+    "platform": "metablade",
 }
 
 
@@ -170,18 +186,20 @@ def _build_sched(params: Dict[str, Any], audit: bool = False):
     """One fully-submitted BatchScheduler from manifest parameters.
 
     The rebuild recipe shared by record and replay — any drift between
-    the two would itself be a reproducibility bug.
+    the two would itself be a reproducibility bug.  Manifests recorded
+    before the platform layer existed carry no ``platform`` key and
+    mean the MetaBlade default.
     """
-    from repro.core.system import BladedBeowulf
+    from repro.platform.registry import platform_by_name
     from repro.sched import (
         BatchScheduler, SchedConfig, policy_by_name, synthetic_stream,
     )
 
-    machine = BladedBeowulf.metablade()
+    spec = platform_by_name(params.get("platform", "metablade"))
     specs = synthetic_stream(
         jobs=params["jobs"],
-        max_nodes=machine.cluster.nodes,
-        flop_rate=machine.node_flop_rate(),
+        max_nodes=spec.nodes,
+        flop_rate=spec.node_flop_rate(),
         seed=params["seed"],
         mean_interarrival_s=params["interarrival"],
     )
@@ -192,7 +210,7 @@ def _build_sched(params: Dict[str, Any], audit: bool = False):
         audit=audit,
     )
     sched = BatchScheduler(
-        machine=machine,
+        platform=spec,
         policy=policy_by_name(params["policy"]),
         config=config,
     )
@@ -223,17 +241,59 @@ def _sched_context(sched) -> Callable[[], Dict[str, Any]]:
 
 def record_sched_manifest(seed: int = 2001,
                           **overrides: Any) -> RunManifest:
-    """Run a batch-scheduler stream and record its full event trace."""
+    """Run a batch-scheduler stream and record its full event trace.
+
+    The payload records the platform's content-hash so a later replay
+    can tell "the hardware description changed" apart from "the trace
+    diverged".
+    """
     params = _sched_params(seed, overrides)
     sched = _build_sched(params)
     with TraceRecorder(sched.kernel) as recorder:
         sched.run()
     return RunManifest.make(
-        "sched", seed=seed, params=params, events=recorder.events
+        "sched", seed=seed, params=params, events=recorder.events,
+        payload={
+            "platform": sched.platform.name,
+            "platform_hash": sched.platform.content_hash(),
+        },
     )
 
 
+def _check_platform_drift(manifest: RunManifest) -> Optional[str]:
+    """Compare the manifest's recorded platform hash against today's.
+
+    Returns a human-readable drift description, or ``None`` when the
+    platform is unchanged (or the manifest predates platform hashes).
+    """
+    recorded = manifest.payload.get("platform_hash")
+    if recorded is None:
+        return None
+    from repro.platform.registry import platform_by_name
+    name = manifest.payload.get(
+        "platform", manifest.params.get("platform", "metablade")
+    )
+    try:
+        current = platform_by_name(name).content_hash()
+    except KeyError:
+        return f"platform {name!r} no longer exists in the registry"
+    if current != recorded:
+        return (
+            f"platform {name!r} content-hash is {current[:12]}… "
+            f"but the manifest recorded {recorded[:12]}…"
+        )
+    return None
+
+
 def _replay_sched(manifest: RunManifest) -> ReplayReport:
+    drift = _check_platform_drift(manifest)
+    if drift is not None:
+        return ReplayReport(
+            kind="sched",
+            expected_events=len(manifest.events),
+            replayed_events=0,
+            platform_drift=drift,
+        )
     sched = _build_sched(manifest.params)
     checker = TraceChecker(
         sched.kernel, manifest.events, context_fn=_sched_context(sched)

@@ -13,6 +13,9 @@ Usage::
     python -m repro.cli timeline --ranks 6   # the unified event timeline
     python -m repro.cli timeline --fail-rank 2 --fail-at 0.05
     python -m repro.cli sched --jobs 200 --policy backfill --fail-inject
+    python -m repro.cli sched --platform green-destiny-240 --jobs 100
+    python -m repro.cli platform             # the named platform registry
+    python -m repro.cli platform --smoke     # build + audit every entry
     python -m repro.cli check --fuzz --quick # differential fuzz campaign
     python -m repro.cli check --record m.json --fail-inject --checkpoint 1
     python -m repro.cli check --replay m.json
@@ -54,6 +57,7 @@ def _cmd_table2(args) -> None:
     result = experiment_table2(
         n=args.particles, steps=1, cpu_counts=tuple(args.cpus),
         seed=args.seed, jobs=getattr(args, "pool_jobs", 1),
+        platform=getattr(args, "platform", None),
     )
     print(result.text)
 
@@ -110,16 +114,21 @@ def _cmd_timeline(args) -> None:
         fail_at_s=args.fail_at,
         limit=args.limit,
         seed=args.seed,
+        platform=getattr(args, "platform", None),
     )
     print(result.text)
 
 
 def _sched_block(params) -> str:
-    """One scheduler run rendered as text; module-level for the pool."""
+    """One scheduler run rendered as text; module-level for the pool.
+
+    The platform travels as a registry *name* so the params tuple stays
+    picklable across the process pool.
+    """
     (jobs, policy, seed, interarrival, fail_inject, mtbf, checkpoint,
-     max_retries, width) = params
-    from repro.cluster.catalog import METABLADE
+     max_retries, width, platform) = params
     from repro.metrics.throughput import throughput_report
+    from repro.platform.registry import platform_by_name
     from repro.sched import (
         BatchScheduler,
         SchedConfig,
@@ -128,11 +137,11 @@ def _sched_block(params) -> str:
         synthetic_stream,
     )
 
-    machine = BladedBeowulf.metablade()
+    spec = platform_by_name(platform if platform is not None else "metablade")
     specs = synthetic_stream(
         jobs=jobs,
-        max_nodes=machine.cluster.nodes,
-        flop_rate=machine.node_flop_rate(),
+        max_nodes=spec.nodes,
+        flop_rate=spec.node_flop_rate(),
         seed=seed,
         mean_interarrival_s=interarrival,
     )
@@ -141,7 +150,7 @@ def _sched_block(params) -> str:
         max_retries=max_retries,
     )
     sched = BatchScheduler(
-        machine=machine, policy=policy_by_name(policy), config=config
+        platform=spec, policy=policy_by_name(policy), config=config
     )
     sched.submit_stream(specs)
     if fail_inject:
@@ -154,7 +163,7 @@ def _sched_block(params) -> str:
         outcome.allocator.intervals, outcome.nodes,
         outcome.makespan_s, width=width,
     )
-    return f"{gantt}\n\n{throughput_report(outcome, METABLADE).format()}"
+    return f"{gantt}\n\n{throughput_report(outcome, platform=spec).format()}"
 
 
 def _cmd_sched(args) -> None:
@@ -166,12 +175,53 @@ def _cmd_sched(args) -> None:
         [
             (args.jobs, args.policy, seed, args.interarrival,
              args.fail_inject, args.mtbf, args.checkpoint,
-             args.max_retries, args.width)
+             args.max_retries, args.width,
+             getattr(args, "platform", None))
             for seed in seeds
         ],
         jobs=getattr(args, "pool_jobs", 1),
     )
     print("\n\n".join(blocks))
+
+
+def _cmd_platform(args) -> int:
+    from repro.platform.registry import PLATFORM_REGISTRY
+
+    if not getattr(args, "smoke", False):
+        rows = []
+        for name in sorted(PLATFORM_REGISTRY):
+            p = PLATFORM_REGISTRY[name]
+            fabric = p.fabric.kind
+            if fabric == "rack":
+                chassis = -(-p.nodes // p.fabric.nodes_per_chassis)
+                fabric = f"rack ({chassis} chassis)"
+            rows.append([
+                name, p.title, p.nodes, fabric,
+                round(p.power_kw, 2), round(p.footprint_sqft, 0),
+                f"${p.acquisition_usd / 1000:.0f}K",
+                p.content_hash()[:12],
+            ])
+        print(
+            format_table(
+                ["Platform", "Machine", "Nodes", "Fabric", "kW",
+                 "Sq ft", "Cost", "Spec hash"],
+                rows,
+                title="Platform registry (use with --platform)",
+            )
+        )
+        return 0
+
+    from repro.platform.smoke import run_smoke
+
+    results, all_ok = run_smoke(out_dir=getattr(args, "out", None))
+    for r in results:
+        status = "ok  " if r.ok else "FAIL"
+        print(f"  {status}  {r.name:20s}  {r.detail}")
+    if not all_ok:
+        print("platform smoke FAILED")
+        return 1
+    print(f"platform smoke: all {len(results)} platforms ok")
+    return 0
 
 
 def _cmd_check(args) -> int:
@@ -233,6 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
             "(Feng, Warren, Weigle - ICPP 2002)"
         ),
     )
+    from repro.platform.registry import platform_names
+
+    platforms = platform_names()
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("summary", help="MetaBlade headline numbers")
@@ -247,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N",
                     help="host processes for the CPU-count sweep "
                          "(default 1: serial, deterministic)")
+    p2.add_argument("--platform", default=None, choices=platforms,
+                    help="registry platform to scale on "
+                         "(default: metablade)")
     p3 = sub.add_parser("table3", help="NPB single-CPU Mops")
     p3.add_argument("--npb-class", default="S", choices=["T", "S", "W"])
     sub.add_parser("table4", help="treecode history ladder")
@@ -278,8 +334,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="virtual time (s) of the injected failure")
     pt.add_argument("--seed", type=int, default=2001,
                     help="initial-conditions RNG seed")
+    pt.add_argument("--platform", default=None, choices=platforms,
+                    help="registry platform whose fabric carries the "
+                         "step (default: metablade)")
     ps = sub.add_parser(
-        "sched", help="serve a batch job stream on the 24-blade machine"
+        "sched", help="serve a batch job stream on a registry platform"
     )
     ps.add_argument("--jobs", type=int, default=60,
                     help="jobs in the synthetic Poisson stream")
@@ -305,6 +364,19 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N",
                     help="host processes for the --seeds sweep "
                          "(--jobs is the stream length here)")
+    ps.add_argument("--platform", default=None, choices=platforms,
+                    help="registry platform to schedule on; picks node "
+                         "count, node rate AND fabric (default: metablade)")
+    pp = sub.add_parser(
+        "platform",
+        help="list the platform registry, or --smoke every entry",
+    )
+    pp.add_argument("--smoke", action="store_true",
+                    help="build fabric/allocator/power model and run a "
+                         "tiny audited sched step per platform")
+    pp.add_argument("--out", default=None, metavar="DIR",
+                    help="write per-platform failure reports here "
+                         "(CI uploads them as artifacts)")
     pc = sub.add_parser(
         "check",
         help="deterministic replay, invariant audit, differential fuzz",
@@ -331,6 +403,7 @@ _HANDLERS = {
     "fig3": _cmd_fig3,
     "timeline": _cmd_timeline,
     "sched": _cmd_sched,
+    "platform": _cmd_platform,
     "check": _cmd_check,
     "topper": _cmd_topper,
     "green500": _cmd_green500,

@@ -100,11 +100,23 @@ def experiment_table2(
     ideal_network: bool = False,
     seed: int = 2001,
     jobs: int = 1,
+    platform: Optional[str] = None,
 ) -> ExperimentResult:
-    machine = BladedBeowulf.metablade()
+    """Table 2, on any registry platform (default: MetaBlade).
+
+    The platform spec supplies both the node compute rate and the
+    fabric every scaling point runs on; CPU counts beyond the
+    platform's node count are dropped.
+    """
+    from repro.nbody.parallel import scaling_study
+    from repro.platform.registry import platform_by_name
+
+    spec = platform_by_name(platform if platform is not None else "metablade")
     config = SimConfig(n=n, steps=steps, seed=seed, theta=0.7, softening=1e-2)
-    points = machine.nbody_scaling(
-        config, cpu_counts, ideal_network=ideal_network, jobs=jobs
+    counts = tuple(c for c in cpu_counts if c <= spec.nodes)
+    points = scaling_study(
+        config, counts, spec.node_flop_rate(),
+        ideal_network=ideal_network, jobs=jobs, platform=spec.name,
     )
     rows = [
         [p.cpus, round(p.time_s, 3), round(p.speedup, 2),
@@ -115,7 +127,7 @@ def experiment_table2(
         "table2",
         ["# CPUs", "Time (sec)", "Speed-Up", "Efficiency", "Comm frac"],
         rows,
-        "Table 2: scalability of the N-body simulation on MetaBlade",
+        f"Table 2: scalability of the N-body simulation on {spec.title}",
         extras={"n_particles": float(n)},
     )
 
@@ -324,34 +336,48 @@ def experiment_timeline(
     fail_at_s: float = 0.0,
     limit: Optional[int] = 48,
     seed: int = 2001,
+    platform: Optional[str] = None,
 ) -> ExperimentResult:
-    """One treecode step on MetaBlade with the event kernel recording.
+    """One treecode step with the event kernel recording.
 
     Every layer posts onto one clock — rank starts/blocks/wakes from
     the scheduler, link and switch occupancy from the fabric, failures
     from the injector — so the rendered timeline is globally
     time-coherent.  ``fail_rank`` (optionally) kills a node mid-run.
+    ``platform`` names a registry entry; its spec supplies the fabric
+    (e.g. Green Destiny's rack network) and node rate.  Default:
+    MetaBlade.
     """
     from collections import Counter
 
+    from repro.core.events import EventKernel
     from repro.nbody.parallel import run_parallel_nbody
-    from repro.simmpi import render_timeline
+    from repro.platform.registry import platform_by_name
+    from repro.simmpi import SimMpiRuntime, render_timeline
 
-    machine = BladedBeowulf.metablade()
-    kernel = machine.event_kernel(record_timeline=True)
-    runtime = machine.mpi_runtime(ranks, kernel=kernel)
+    spec = platform_by_name(platform if platform is not None else "metablade")
+    if ranks > spec.nodes:
+        raise ValueError(
+            f"{ranks} ranks exceed {spec.name}'s {spec.nodes} nodes"
+        )
+    kernel = EventKernel(record_timeline=True)
+    runtime = SimMpiRuntime(
+        ranks, fabric=spec.build_fabric(ranks),
+        flop_rate=spec.node_flop_rate(), kernel=kernel,
+    )
     if fail_rank is not None:
         runtime.fail_at(fail_at_s, fail_rank, detail="injected")
     config = SimConfig(n=n, steps=1, seed=seed, theta=0.7, softening=1e-2)
     run = run_parallel_nbody(
-        config, ranks, machine.node_flop_rate(), runtime=runtime
+        config, ranks, spec.node_flop_rate(), runtime=runtime
     )
     events = kernel.sorted_timeline()
     counts = Counter(e.kind for e in events)
     rows = [[kind, count] for kind, count in sorted(counts.items())]
+    suffix = f" on {spec.title}" if platform is not None else ""
     table = format_table(
         ["Event kind", "Count"], rows,
-        title=f"Unified event timeline: {ranks}-rank treecode step",
+        title=f"Unified event timeline: {ranks}-rank treecode step{suffix}",
     )
     text = table + "\n\n" + render_timeline(events, limit=limit)
     return ExperimentResult(

@@ -84,14 +84,20 @@ class ThroughputReport:
 
 def throughput_report(outcome: "SchedOutcome",
                       cluster: Optional[Cluster] = None,
-                      ) -> ThroughputReport:
+                      platform=None) -> ThroughputReport:
     """Fold a scheduling outcome into the operator numbers.
 
-    Pass the *cluster* catalog entry to also price the run: operational
-    ToPPeR divides the cluster's TCO by the Gflops the job stream
-    actually sustained (skipped when nothing completed — a zero-work
-    run has no price-performance).
+    Pass the *cluster* catalog entry — or the
+    :class:`~repro.platform.spec.PlatformSpec` the run was scheduled on
+    — to also price the run: operational ToPPeR divides the machine's
+    TCO (whose denominators — sq ft, watts, dollars — come from the
+    spec) by the Gflops the job stream actually sustained (skipped when
+    nothing completed — a zero-work run has no price-performance).
     """
+    if platform is not None:
+        if cluster is not None:
+            raise ValueError("pass either cluster= or platform=, not both")
+        cluster = platform.cluster()
     records = outcome.records
     completed = outcome.completed
     makespan = outcome.makespan_s

@@ -182,11 +182,19 @@ def run_parallel_nbody(config: SimConfig, cpus: int, flop_rate: float,
 
 
 def _scaling_point_worker(args) -> Tuple[float, float]:
-    """One Table 2 point; module-level so the process pool can pickle it."""
-    config, cpus, flop_rate, ideal_network, balance = args
+    """One Table 2 point; module-level so the process pool can pickle it.
+
+    ``platform`` travels as a registry *name* (not a spec object) so the
+    work tuple stays trivially picklable across the process pool.
+    """
+    config, cpus, flop_rate, ideal_network, balance, platform = args
+    fabric = None
+    if platform is not None and not ideal_network:
+        from repro.platform.registry import platform_by_name
+        fabric = platform_by_name(platform).build_fabric(cpus)
     run = run_parallel_nbody(
         config, cpus, flop_rate,
-        ideal_network=ideal_network, balance=balance,
+        ideal_network=ideal_network, balance=balance, fabric=fabric,
     )
     return run.elapsed_s, run.communication_fraction
 
@@ -195,15 +203,18 @@ def scaling_study(config: SimConfig, cpu_counts: Tuple[int, ...],
                   flop_rate: float,
                   ideal_network: bool = False,
                   balance: str = "work",
-                  jobs: int = 1) -> List[ScalingPoint]:
+                  jobs: int = 1,
+                  platform: Optional[str] = None) -> List[ScalingPoint]:
     """Regenerate Table 2: time and speedup vs CPU count.
 
     Each CPU count is an independent simulation, so with ``jobs > 1``
     the points fan out over a process pool (:mod:`repro.runner`); the
     ordered merge keeps the result list identical to a serial run.
+    ``platform`` names a registry entry whose declared fabric carries
+    each point (default: the MetaBlade Fast Ethernet star).
     """
     work = [
-        (config, cpus, flop_rate, ideal_network, balance)
+        (config, cpus, flop_rate, ideal_network, balance, platform)
         for cpus in cpu_counts
     ]
     measured = parallel_map(_scaling_point_worker, work, jobs=jobs)

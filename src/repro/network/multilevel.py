@@ -14,30 +14,43 @@ the star, so SimMPI programs run on either unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.events import EventKernel
-from repro.network.link import GIGABIT_ETHERNET, Link, LinkSchedule
-from repro.network.nic import FAST_ETHERNET_NIC, Nic
+from repro.network.link import Link, LinkSchedule
+from repro.network.nic import Nic
 from repro.network.switch import BackplaneSchedule, Switch
 from repro.network.topology import Transfer
 
 
 @dataclass(frozen=True)
 class RackFabricConfig:
-    """Parameters of the two-level network."""
+    """Parameters of the two-level network.
+
+    ``nic``/``uplink`` default to the Green Destiny parts declared once
+    in :data:`repro.platform.spec.GREEN_DESTINY_FABRIC` (resolved
+    lazily so the network layer stays importable below the platform
+    layer).  Set ``uplink`` to FAST_ETHERNET for the oversubscription
+    ablation.
+    """
 
     nodes_per_chassis: int = 24
-    nic: Nic = FAST_ETHERNET_NIC
-    #: Chassis uplink to the aggregation switch.  Green Destiny used
-    #: Gigabit uplinks; set to FAST_ETHERNET for the oversubscription
-    #: ablation.
-    uplink: Link = GIGABIT_ETHERNET
+    nic: Optional[Nic] = None
+    #: Chassis uplink to the aggregation switch.
+    uplink: Optional[Link] = None
     forward_latency_s: float = 10e-6
 
     def __post_init__(self) -> None:
         if self.nodes_per_chassis < 1:
             raise ValueError("nodes_per_chassis must be >= 1")
+        if self.nic is None or self.uplink is None:
+            from repro.platform.spec import GREEN_DESTINY_FABRIC
+            if self.nic is None:
+                object.__setattr__(self, "nic", GREEN_DESTINY_FABRIC.nic)
+            if self.uplink is None:
+                object.__setattr__(
+                    self, "uplink", GREEN_DESTINY_FABRIC.uplink
+                )
 
     @property
     def oversubscription(self) -> float:
@@ -49,16 +62,39 @@ class RackFabricConfig:
 
 
 class RackTopology:
-    """N blades in ceil(N/24) chassis behind one aggregation switch."""
+    """N blades in ceil(N/24) chassis behind one aggregation switch.
+
+    ``chassis_map`` optionally names the chassis behind each endpoint
+    (``chassis_map[i]`` is endpoint *i*'s chassis).  The scheduler uses
+    it to place a job's fabric endpoints into the *real* chassis of the
+    blades it allocated, so a job scattered across enclosures pays the
+    uplinks where the allocation says it should.  Without a map,
+    endpoints fill chassis in dense index order.
+    """
 
     def __init__(self, nodes: int,
-                 config: RackFabricConfig = RackFabricConfig()) -> None:
+                 config: Optional[RackFabricConfig] = None,
+                 chassis_map: Optional[Sequence[int]] = None) -> None:
         if nodes < 1:
             raise ValueError("need at least one node")
+        if config is None:
+            config = RackFabricConfig()
         self.nodes = nodes
         self.config = config
         per = config.nodes_per_chassis
-        self.chassis_count = (nodes + per - 1) // per
+        self._chassis_map: Optional[Tuple[int, ...]] = None
+        if chassis_map is not None:
+            if len(chassis_map) != nodes:
+                raise ValueError(
+                    f"chassis_map has {len(chassis_map)} entries "
+                    f"for {nodes} nodes"
+                )
+            if any(c < 0 for c in chassis_map):
+                raise ValueError("chassis indices cannot be negative")
+            self._chassis_map = tuple(chassis_map)
+            self.chassis_count = max(self._chassis_map) + 1
+        else:
+            self.chassis_count = (nodes + per - 1) // per
         nic_link = config.nic.link
         self._up: List[LinkSchedule] = [
             LinkSchedule(nic_link) for _ in range(nodes)
@@ -92,6 +128,8 @@ class RackTopology:
         self._kernel = kernel
 
     def chassis_of(self, node: int) -> int:
+        if self._chassis_map is not None:
+            return self._chassis_map[node]
         return node // self.config.nodes_per_chassis
 
     def reset(self) -> None:
@@ -158,8 +196,11 @@ class RackTopology:
 
 
 def green_destiny_fabric(nodes: int = 240,
-                         uplink: Link = GIGABIT_ETHERNET) -> RackTopology:
-    """The Green Destiny rack network sized for *nodes* blades."""
+                         uplink: Optional[Link] = None) -> RackTopology:
+    """The Green Destiny rack network sized for *nodes* blades.
+
+    ``uplink`` defaults to the platform spec's Gigabit uplink.
+    """
     return RackTopology(
         nodes=nodes, config=RackFabricConfig(uplink=uplink)
     )

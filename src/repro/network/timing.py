@@ -61,5 +61,10 @@ class IdealFabric:
 
 
 def star_fabric(nodes: int) -> StarTopology:
-    """The MetaBlade fabric sized for *nodes* blades."""
-    return StarTopology(nodes=nodes)
+    """The MetaBlade fabric sized for *nodes* blades.
+
+    Delegates to :data:`repro.platform.spec.METABLADE_FABRIC` — the
+    single declarative source of the star fabric's parameters.
+    """
+    from repro.platform.spec import METABLADE_FABRIC
+    return METABLADE_FABRIC.build(nodes)

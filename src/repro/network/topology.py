@@ -15,12 +15,8 @@ from typing import Dict, List, Optional
 
 from repro.core.events import EventKernel
 from repro.network.link import LinkSchedule
-from repro.network.nic import FAST_ETHERNET_NIC, Nic
-from repro.network.switch import (
-    BackplaneSchedule,
-    FAST_ETHERNET_SWITCH_24,
-    Switch,
-)
+from repro.network.nic import Nic
+from repro.network.switch import BackplaneSchedule, Switch
 
 
 @dataclass(frozen=True)
@@ -36,13 +32,24 @@ class Transfer:
 
 
 class StarTopology:
-    """N nodes, one switch, full-duplex uplinks."""
+    """N nodes, one switch, full-duplex uplinks.
+
+    ``nic``/``switch`` default to the MetaBlade parts declared once in
+    :data:`repro.platform.spec.METABLADE_FABRIC` (resolved lazily to
+    keep this layer importable below the platform layer).
+    """
 
     def __init__(self, nodes: int,
-                 nic: Nic = FAST_ETHERNET_NIC,
-                 switch: Switch = FAST_ETHERNET_SWITCH_24) -> None:
+                 nic: Optional[Nic] = None,
+                 switch: Optional[Switch] = None) -> None:
         if nodes < 1:
             raise ValueError("need at least one node")
+        if nic is None or switch is None:
+            from repro.platform.spec import METABLADE_FABRIC
+            nic = nic if nic is not None else METABLADE_FABRIC.nic
+            switch = (
+                switch if switch is not None else METABLADE_FABRIC.switch
+            )
         if nodes > switch.ports:
             raise ValueError(
                 f"{nodes} nodes exceed the switch's {switch.ports} ports"

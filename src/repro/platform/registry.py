@@ -1,0 +1,127 @@
+"""Named platforms: every machine the paper argues about, as one spec.
+
+Each entry is a complete :class:`~repro.platform.spec.PlatformSpec`;
+``platform_by_name("green-destiny-240")`` is all a CLI flag needs to
+put the scheduler on 240 blades behind the chassis/aggregation fabric.
+
+The catalog-backed entries are *adapted from* the authoritative
+physical records in :mod:`repro.cluster.catalog` (so ``spec.cluster()``
+round-trips to the exact catalog object and Tables 5-7 cannot drift);
+the registry adds what the catalog never knew: which interconnect the
+machine runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.catalog import (
+    AVALON,
+    Cluster,
+    GREEN_DESTINY,
+    LOKI,
+    METABLADE,
+    METABLADE2,
+    Packaging,
+    TABLE5_CLUSTERS,
+)
+from repro.cpus.catalog import TM5800_800
+from repro.platform.spec import (
+    FabricSpec,
+    GREEN_DESTINY_FABRIC,
+    METABLADE_FABRIC,
+    PlatformSpec,
+    scaled_star_switch,
+)
+
+
+def _from_cluster(name: str, cluster: Cluster,
+                  fabric: Optional[FabricSpec] = None) -> PlatformSpec:
+    return PlatformSpec.for_cluster(cluster, fabric=fabric, name=name)
+
+
+#: MetaBlade: the paper's measured machine — 24 TM5600 blades, one
+#: chassis, one 24-port Fast Ethernet switch.  This is THE default
+#: platform; every legacy code path must reproduce it bit-identically.
+METABLADE_PLATFORM = _from_cluster("metablade", METABLADE, METABLADE_FABRIC)
+
+#: MetaBlade2: same chassis, TM5800-800 blades (paper footnote 3).
+METABLADE2_PLATFORM = _from_cluster(
+    "metablade2", METABLADE2, METABLADE_FABRIC
+)
+
+#: Green Destiny as built: 240 blades, ten chassis behind the rack
+#: aggregation switch with Gigabit uplinks.
+GREEN_DESTINY_240 = _from_cluster(
+    "green-destiny-240", GREEN_DESTINY, GREEN_DESTINY_FABRIC
+)
+
+#: The scale-out thought experiment: four Green Destiny racks' worth of
+#: blades behind one (deeper) aggregation fabric.  Economics scale
+#: linearly from the 240-blade rack; performance projection likewise
+#: (the scale-out bench explores where the uplinks break that).
+GREEN_DESTINY_960 = PlatformSpec(
+    name="green-destiny-960",
+    title="Green Destiny x4",
+    processor=TM5800_800.spec,
+    nodes=960,
+    packaging=Packaging.BLADED,
+    fabric=GREEN_DESTINY_FABRIC,
+    footprint_sqft=24.0,
+    acquisition_usd=4 * 335_000.0,
+    year=2002,
+    treecode_gflops=4 * 21.5,
+)
+
+#: Avalon: 140 Alpha minitowers.  Its commodity fabric outgrows a
+#: 24-port part, so the star is scaled to 140 ports at the same
+#: per-port backplane provisioning.
+AVALON_PLATFORM = _from_cluster(
+    "avalon", AVALON,
+    FabricSpec(kind="star", switch=scaled_star_switch(AVALON.nodes)),
+)
+
+#: Loki: 16 Pentium Pro towers — fits the stock 24-port star.
+LOKI_PLATFORM = _from_cluster("loki", LOKI, METABLADE_FABRIC)
+
+
+def _beowulf_key(cluster: Cluster) -> str:
+    return cluster.name.lower().replace(" ", "-")
+
+
+#: The traditional 24-node Beowulfs of Table 5 (alpha-beowulf,
+#: athlon-beowulf, piii-beowulf, p4-beowulf) on the stock star.
+_TABLE5_PLATFORMS: Tuple[PlatformSpec, ...] = tuple(
+    _from_cluster(_beowulf_key(c), c, METABLADE_FABRIC)
+    for c in TABLE5_CLUSTERS[:-1]
+)
+
+PLATFORM_REGISTRY: Dict[str, PlatformSpec] = {
+    p.name: p
+    for p in (
+        METABLADE_PLATFORM,
+        METABLADE2_PLATFORM,
+        GREEN_DESTINY_240,
+        GREEN_DESTINY_960,
+        AVALON_PLATFORM,
+        LOKI_PLATFORM,
+        *_TABLE5_PLATFORMS,
+    )
+}
+
+#: The platform every legacy (pre-platform-layer) code path means.
+DEFAULT_PLATFORM = "metablade"
+
+
+def platform_by_name(name: str) -> PlatformSpec:
+    try:
+        return PLATFORM_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORM_REGISTRY))
+        raise KeyError(
+            f"unknown platform {name!r}; known: {known}"
+        ) from None
+
+
+def platform_names() -> Tuple[str, ...]:
+    return tuple(sorted(PLATFORM_REGISTRY))

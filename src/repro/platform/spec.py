@@ -1,0 +1,421 @@
+"""The declarative platform spec: one frozen description of a machine.
+
+The paper's whole argument (Tables 5-7, ToPPeR) is a comparison *across
+machines*, yet hardware description used to be scattered: processors in
+:mod:`repro.cpus.catalog`, physical clusters in
+:mod:`repro.cluster.catalog`, fabrics in :mod:`repro.network`, and the
+scheduler hard-coding a star network.  A :class:`PlatformSpec` unifies
+them: processor spec + node config + packaging + fabric topology +
+power model inputs + counts, all in one validated, hashable value from
+which every consumer is *derived*:
+
+- :meth:`PlatformSpec.build_fabric` — the SimMPI interconnect (star,
+  multi-level rack, or ideal, chosen by the spec);
+- :meth:`PlatformSpec.build_allocator` — the scheduler's blade set;
+- :meth:`PlatformSpec.node_flop_rate` — the node compute rate;
+- :meth:`PlatformSpec.power_model` — the energy-accounting model;
+- :meth:`PlatformSpec.cluster` — the physical denominators (sq ft,
+  watts, dollars) consumed by :mod:`repro.metrics` for Tables 5-7.
+
+Because the spec serializes canonically (:meth:`PlatformSpec.to_dict` /
+:meth:`PlatformSpec.content_hash`), a run manifest can record *which
+hardware* it ran on and replay can distinguish "the platform changed"
+from "the trace diverged".
+
+This module is also the single source of the Fast Ethernet fabric
+parameters: :data:`METABLADE_FABRIC` and :data:`GREEN_DESTINY_FABRIC`
+are where :func:`repro.network.timing.star_fabric`,
+:class:`repro.network.topology.StarTopology` and
+:class:`repro.network.multilevel.RackFabricConfig` resolve their
+defaults, instead of each re-importing ``FAST_ETHERNET*`` constants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.cluster.catalog import Cluster, Packaging
+from repro.cluster.node import NodeConfig
+from repro.cpus.base import ProcessorSpec
+from repro.cpus.power import PowerModel
+from repro.network.link import FAST_ETHERNET, GIGABIT_ETHERNET, Link
+from repro.network.multilevel import RackFabricConfig, RackTopology
+from repro.network.nic import FAST_ETHERNET_NIC, Nic
+from repro.network.switch import FAST_ETHERNET_SWITCH_24, Switch
+from repro.network.timing import IdealFabric
+from repro.network.topology import StarTopology
+
+#: Fabric kinds a spec may declare.
+FABRIC_KINDS = ("star", "rack", "ideal")
+
+
+def _canonical_hash(doc: Dict[str, Any]) -> str:
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _link_to_dict(link: Link) -> Dict[str, Any]:
+    return {
+        "name": link.name,
+        "bandwidth_bps": link.bandwidth_bps,
+        "latency_s": link.latency_s,
+    }
+
+
+def _link_from_dict(doc: Dict[str, Any]) -> Link:
+    return Link(**doc)
+
+
+def _nic_to_dict(nic: Nic) -> Dict[str, Any]:
+    return {
+        "name": nic.name,
+        "link": _link_to_dict(nic.link),
+        "send_overhead_s": nic.send_overhead_s,
+        "recv_overhead_s": nic.recv_overhead_s,
+    }
+
+
+def _nic_from_dict(doc: Dict[str, Any]) -> Nic:
+    doc = dict(doc)
+    doc["link"] = _link_from_dict(doc["link"])
+    return Nic(**doc)
+
+
+def _switch_to_dict(switch: Switch) -> Dict[str, Any]:
+    return {
+        "name": switch.name,
+        "ports": switch.ports,
+        "port_link": _link_to_dict(switch.port_link),
+        "forward_latency_s": switch.forward_latency_s,
+        "backplane_bps": switch.backplane_bps,
+    }
+
+
+def _switch_from_dict(doc: Dict[str, Any]) -> Switch:
+    doc = dict(doc)
+    doc["port_link"] = _link_from_dict(doc["port_link"])
+    return Switch(**doc)
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Declarative interconnect description, buildable at any size.
+
+    ``kind`` picks the topology class; the remaining fields carry its
+    parameters (``switch`` for the star, ``nodes_per_chassis`` /
+    ``uplink`` / ``forward_latency_s`` for the two-level rack).  All
+    kinds share ``nic`` — the host-side interface every blade carries.
+    """
+
+    kind: str = "star"
+    nic: Nic = FAST_ETHERNET_NIC
+    switch: Switch = FAST_ETHERNET_SWITCH_24
+    nodes_per_chassis: int = 24
+    uplink: Link = GIGABIT_ETHERNET
+    forward_latency_s: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.kind not in FABRIC_KINDS:
+            raise ValueError(
+                f"unknown fabric kind {self.kind!r}; known: {FABRIC_KINDS}"
+            )
+        if self.nodes_per_chassis < 1:
+            raise ValueError("nodes_per_chassis must be >= 1")
+        if self.forward_latency_s < 0:
+            raise ValueError("forward latency cannot be negative")
+
+    def build(self, nodes: int,
+              blades: Optional[Sequence[int]] = None):
+        """Materialise the fabric for *nodes* endpoints.
+
+        ``blades`` optionally names the physical blade behind each
+        fabric endpoint (rank ``i`` rides blade ``blades[i]``); the
+        rack fabric uses it to place endpoints into their *real*
+        chassis, so a job scattered across enclosures pays the uplink
+        where the allocation says it should.
+        """
+        if self.kind == "ideal":
+            return IdealFabric(nodes)
+        if self.kind == "star":
+            return StarTopology(nodes, nic=self.nic, switch=self.switch)
+        chassis_map = None
+        if blades is not None:
+            if len(blades) != nodes:
+                raise ValueError(
+                    f"{len(blades)} blades for {nodes} fabric endpoints"
+                )
+            chassis_map = tuple(
+                b // self.nodes_per_chassis for b in blades
+            )
+        return RackTopology(
+            nodes,
+            config=RackFabricConfig(
+                nodes_per_chassis=self.nodes_per_chassis,
+                nic=self.nic,
+                uplink=self.uplink,
+                forward_latency_s=self.forward_latency_s,
+            ),
+            chassis_map=chassis_map,
+        )
+
+    def max_nodes(self) -> Optional[int]:
+        """Port-count ceiling, or ``None`` when the kind scales freely."""
+        if self.kind == "star":
+            return self.switch.ports
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "nic": _nic_to_dict(self.nic),
+            "switch": _switch_to_dict(self.switch),
+            "nodes_per_chassis": self.nodes_per_chassis,
+            "uplink": _link_to_dict(self.uplink),
+            "forward_latency_s": self.forward_latency_s,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FabricSpec":
+        return cls(
+            kind=doc["kind"],
+            nic=_nic_from_dict(doc["nic"]),
+            switch=_switch_from_dict(doc["switch"]),
+            nodes_per_chassis=doc["nodes_per_chassis"],
+            uplink=_link_from_dict(doc["uplink"]),
+            forward_latency_s=doc["forward_latency_s"],
+        )
+
+
+#: The MetaBlade interconnect: 24 Fast Ethernet blades into one switch.
+#: Single source of the star fabric's NIC/switch parameters.
+METABLADE_FABRIC = FabricSpec(kind="star")
+
+#: The Green Destiny interconnect: chassis switches behind a rack
+#: aggregation switch, Gigabit uplinks.  Single source of the rack
+#: fabric's NIC/uplink parameters.
+GREEN_DESTINY_FABRIC = FabricSpec(kind="rack")
+
+
+def scaled_star_switch(ports: int, port_link: Link = FAST_ETHERNET) -> Switch:
+    """A non-blocking FE switch sized for *ports* nodes.
+
+    Keeps the per-port backplane provisioning of the real 24-port part
+    (0.2 Gb/s per port), so a 24-port request reproduces
+    ``FAST_ETHERNET_SWITCH_24`` exactly.
+    """
+    if ports <= FAST_ETHERNET_SWITCH_24.ports:
+        return FAST_ETHERNET_SWITCH_24
+    return Switch(
+        name=f"{ports}-port FE switch",
+        ports=ports,
+        port_link=port_link,
+        backplane_bps=0.2e9 * ports,
+    )
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A complete machine, declaratively: who computes, how they talk,
+    what it costs.
+
+    ``name`` is the registry key (kebab-case); ``title`` the display
+    name Tables 4-7 print.  ``processor`` must name a model in
+    :data:`repro.cpus.catalog.CPU_CATALOG` — the node compute rate is
+    derived from that model through the calibrated performance layer.
+    """
+
+    name: str
+    title: str
+    processor: ProcessorSpec
+    nodes: int
+    packaging: Packaging
+    fabric: FabricSpec
+    footprint_sqft: float
+    acquisition_usd: float
+    year: int
+    node_config: NodeConfig = NodeConfig()
+    treecode_gflops: Optional[float] = None
+    power_kw_override: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a platform needs a name")
+        if self.nodes < 1:
+            raise ValueError("a platform needs at least one node")
+        if self.footprint_sqft <= 0:
+            raise ValueError("footprint must be positive")
+        if self.acquisition_usd < 0:
+            raise ValueError("acquisition cost cannot be negative")
+        ceiling = self.fabric.max_nodes()
+        if ceiling is not None and self.nodes > ceiling:
+            raise ValueError(
+                f"{self.name}: {self.nodes} nodes exceed the "
+                f"{self.fabric.switch.name}'s {ceiling} ports"
+            )
+        from repro.cpus.catalog import CPU_CATALOG
+        if self.processor.name not in CPU_CATALOG:
+            known = ", ".join(sorted(CPU_CATALOG))
+            raise ValueError(
+                f"{self.name}: no processor model named "
+                f"{self.processor.name!r}; known: {known}"
+            )
+
+    # -- builders: everything a consumer needs, derived from the spec --
+
+    def processor_model(self):
+        """The calibrated processor model behind this platform's nodes."""
+        from repro.cpus.catalog import cpu_by_name
+        return cpu_by_name(self.processor.name)
+
+    def node_flop_rate(self) -> float:
+        """Sustained treecode flops/s of one node (calibrated model)."""
+        from repro.perfmodel.calibration import sustained_treecode_mflops
+        return sustained_treecode_mflops(self.processor_model()) * 1e6
+
+    def build_fabric(self, nodes: Optional[int] = None,
+                     blades: Optional[Sequence[int]] = None):
+        """The SimMPI interconnect, sized for *nodes* (default: all)."""
+        n = self.nodes if nodes is None else nodes
+        if n > self.nodes:
+            raise ValueError(
+                f"{n} fabric endpoints exceed {self.name}'s "
+                f"{self.nodes} nodes"
+            )
+        return self.fabric.build(n, blades=blades)
+
+    def build_allocator(self):
+        """The batch scheduler's blade ledger over this platform."""
+        from repro.sched.allocator import BladeAllocator
+        return BladeAllocator(self.nodes)
+
+    def power_model(self) -> PowerModel:
+        """The per-node electrical model used for energy accounting."""
+        return PowerModel.for_spec(self.processor)
+
+    def cluster(self) -> Cluster:
+        """The physical-economics view: the denominators of Tables 5-7."""
+        return Cluster(
+            name=self.title,
+            processor=self.processor,
+            nodes=self.nodes,
+            packaging=self.packaging,
+            footprint_sqft=self.footprint_sqft,
+            acquisition_usd=self.acquisition_usd,
+            year=self.year,
+            treecode_gflops=self.treecode_gflops,
+            power_kw_override=self.power_kw_override,
+        )
+
+    def machine(self):
+        """The :class:`~repro.core.system.BladedBeowulf` wrapper."""
+        from repro.core.system import BladedBeowulf
+        return BladedBeowulf(cluster=self.cluster())
+
+    # -- physical denominators (shortcuts into the cluster view) ----------
+
+    @property
+    def power_kw(self) -> float:
+        return self.cluster().power_kw
+
+    @property
+    def total_power_kw(self) -> float:
+        return self.cluster().total_power_kw
+
+    # -- identity ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-safe form; the content hash covers all of it."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "processor": asdict(self.processor),
+            "nodes": self.nodes,
+            "packaging": self.packaging.value,
+            "fabric": self.fabric.to_dict(),
+            "footprint_sqft": self.footprint_sqft,
+            "acquisition_usd": self.acquisition_usd,
+            "year": self.year,
+            "node_config": asdict(self.node_config),
+            "treecode_gflops": self.treecode_gflops,
+            "power_kw_override": self.power_kw_override,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "PlatformSpec":
+        return cls(
+            name=doc["name"],
+            title=doc["title"],
+            processor=ProcessorSpec(**doc["processor"]),
+            nodes=doc["nodes"],
+            packaging=Packaging(doc["packaging"]),
+            fabric=FabricSpec.from_dict(doc["fabric"]),
+            footprint_sqft=doc["footprint_sqft"],
+            acquisition_usd=doc["acquisition_usd"],
+            year=doc["year"],
+            node_config=NodeConfig(**doc["node_config"]),
+            treecode_gflops=doc["treecode_gflops"],
+            power_kw_override=doc["power_kw_override"],
+        )
+
+    def content_hash(self) -> str:
+        """sha256 over the canonical dict — the platform's identity.
+
+        Two specs hash equal iff every field (processor physics, fabric
+        parameters, counts, economics) agrees; run manifests record it
+        so replay can tell "platform changed" from trace divergence.
+        """
+        return _canonical_hash(self.to_dict())
+
+    def with_nodes(self, nodes: int, **updates: Any) -> "PlatformSpec":
+        """A resized variant (scenario exploration helper)."""
+        return replace(self, nodes=nodes, **updates)
+
+    # -- interop ----------------------------------------------------------
+
+    @classmethod
+    def for_cluster(cls, cluster: Cluster,
+                    fabric: Optional[FabricSpec] = None,
+                    name: Optional[str] = None) -> "PlatformSpec":
+        """Adapt a catalog :class:`Cluster` into a platform.
+
+        The fabric defaults to the MetaBlade star (scaled to the node
+        count when it outgrows the 24-port switch) — exactly what the
+        scheduler hard-coded before the platform layer existed.
+        """
+        if fabric is None:
+            if cluster.nodes <= FAST_ETHERNET_SWITCH_24.ports:
+                fabric = METABLADE_FABRIC
+            else:
+                fabric = replace(
+                    METABLADE_FABRIC,
+                    switch=scaled_star_switch(cluster.nodes),
+                )
+        return cls(
+            name=name or cluster.name.lower().replace(" ", "-"),
+            title=cluster.name,
+            processor=cluster.processor,
+            nodes=cluster.nodes,
+            packaging=cluster.packaging,
+            fabric=fabric,
+            footprint_sqft=cluster.footprint_sqft,
+            acquisition_usd=cluster.acquisition_usd,
+            year=cluster.year,
+            treecode_gflops=cluster.treecode_gflops,
+            power_kw_override=cluster.power_kw_override,
+        )
+
+    def describe(self) -> str:
+        c = self.cluster()
+        fabric = self.fabric.kind
+        if fabric == "rack":
+            chassis = -(-self.nodes // self.fabric.nodes_per_chassis)
+            fabric = f"rack ({chassis} chassis, {self.fabric.uplink.name})"
+        return (
+            f"{self.name}: {self.nodes}x {self.processor.clock_mhz:.0f}-MHz "
+            f"{self.processor.name}, {fabric} fabric, "
+            f"{c.power_kw:.2f} kW, {c.footprint_sqft:.0f} sq ft, "
+            f"${c.acquisition_usd / 1000:.0f}K"
+        )

@@ -39,8 +39,6 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.management import EventKind, ManagementEvent, ManagementHub
 from repro.core.events import EventKernel
 from repro.core.system import BladedBeowulf
-from repro.cpus.power import PowerModel
-from repro.network.timing import star_fabric
 from repro.sched.allocator import BladeAllocator
 from repro.sched.job import Attempt, JobRecord, JobSpec, JobState
 from repro.sched.policy import Policy, QueuedJob, RunningJob
@@ -131,26 +129,46 @@ class _RunningJob:
 
 
 class BatchScheduler:
-    """Queue + allocator + dispatcher over one shared virtual clock."""
+    """Queue + allocator + dispatcher over one shared virtual clock.
+
+    The machine is described by a declarative
+    :class:`~repro.platform.spec.PlatformSpec`: node count, per-node
+    compute rate, power model, packaging, and — crucially — the fabric
+    each job's SimMPI world runs on (MetaBlade's star or Green
+    Destiny's chassis-behind-aggregation rack network, per the spec).
+    ``machine`` remains accepted for back-compatibility and is adapted
+    into a star-fabric platform; passing both is an error.
+    """
 
     def __init__(self, machine: Optional[BladedBeowulf] = None,
                  policy: Optional[Policy] = None,
                  config: Optional[SchedConfig] = None,
                  kernel: Optional[EventKernel] = None,
-                 record_timeline: bool = False) -> None:
+                 record_timeline: bool = False,
+                 platform=None) -> None:
         from repro.sched.policy import Fcfs
 
-        self.machine = machine if machine is not None else BladedBeowulf.metablade()
+        if platform is not None and machine is not None:
+            raise ValueError("pass either platform= or machine=, not both")
+        if platform is None:
+            if machine is None:
+                from repro.platform.registry import METABLADE_PLATFORM
+                platform = METABLADE_PLATFORM
+            else:
+                from repro.platform.spec import PlatformSpec
+                platform = PlatformSpec.for_cluster(machine.cluster)
+        self.platform = platform
+        self.machine = machine if machine is not None else platform.machine()
         self.policy = policy if policy is not None else Fcfs()
         self.config = config if config is not None else SchedConfig()
         self.kernel = kernel if kernel is not None else EventKernel(
             record_timeline=record_timeline
         )
-        self.nodes = self.machine.cluster.nodes
-        self.flop_rate = self.machine.node_flop_rate()
-        self.allocator = BladeAllocator(self.nodes)
-        self.hub = ManagementHub.for_packaging(self.machine.cluster.packaging)
-        self.power = PowerModel.for_spec(self.machine.processor.spec)
+        self.nodes = platform.nodes
+        self.flop_rate = platform.node_flop_rate()
+        self.allocator = platform.build_allocator()
+        self.hub = ManagementHub.for_packaging(platform.packaging)
+        self.power = platform.power_model()
         self.records: Dict[int, JobRecord] = {}
         self.failures_injected = 0
         self._queue: List[_QueueEntry] = []
@@ -315,9 +333,12 @@ class BatchScheduler:
         attempt = Attempt(start_s=now, start_unit=start_unit)
         record.attempts.append(attempt)
         record.state = JobState.RUNNING
+        # The job's world runs on the platform's declared fabric, its
+        # endpoints placed into the chassis of the blades it was
+        # actually allocated (matters on multi-level rack fabrics).
         runtime = SimMpiRuntime(
             spec.nodes,
-            fabric=star_fabric(spec.nodes),
+            fabric=self.platform.build_fabric(spec.nodes, blades=blades),
             flop_rate=self.flop_rate,
             kernel=self.kernel,
         )
