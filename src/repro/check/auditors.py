@@ -194,7 +194,8 @@ def _close(a: float, b: float) -> bool:
 
 
 def audit_sched_outcome(outcome, power=None,
-                        flop_rate: Optional[float] = None) -> None:
+                        flop_rate: Optional[float] = None,
+                        thermal=None) -> None:
     """Cross-check a finished :class:`SchedOutcome`'s ledgers.
 
     Raises :class:`InvariantViolation` on the first broken invariant:
@@ -206,13 +207,28 @@ def audit_sched_outcome(outcome, power=None,
       may drain past the last job end); busy time per job equals the
       sum of its attempt windows times its width;
     - job energy equals the PowerModel integrated over its attempt
-      windows (times its width);
+      windows (times its width); with *thermal* (the run's
+      :class:`~repro.thermal.model.ThermalNetwork`) it is instead the
+      cooling-overhead factor times the blade heat recorded over the
+      job's busy intervals — throttled stretches dissipate less;
     - for completed jobs, compute time equals the flops billed through
-      the rank clocks divided by the node flop rate.
+      the rank clocks divided by the node flop rate (with *thermal*,
+      at least that — throttling only ever slows compute down).
+
+    With *thermal*, :func:`audit_thermal_network` also runs over the
+    network's segment ledger (energy↔temperature conservation).
     """
     from repro.sched.job import JobState
 
     makespan = outcome.makespan_s
+
+    heat_by_job: Dict[str, float] = defaultdict(float)
+    if thermal is not None:
+        for interval in outcome.allocator.intervals:
+            if interval.kind == "busy":
+                heat_by_job[interval.label] += thermal.heat_joules(
+                    interval.blade, interval.start_s, interval.end_s
+                )
 
     attempt_busy: Dict[str, float] = defaultdict(float)
     for record in outcome.records:
@@ -247,7 +263,16 @@ def audit_sched_outcome(outcome, power=None,
             attempt_busy[str(jid)] += window * spec.nodes
             if power is not None:
                 energy += spec.nodes * power.energy_joules(window)
-        if power is not None and not _close(record.energy_j, energy):
+        if thermal is not None and power is not None:
+            from repro.thermal.model import cooling_overhead_factor
+            expected = cooling_overhead_factor(power) * heat_by_job[str(jid)]
+            if not _close(record.energy_j, expected):
+                raise InvariantViolation(
+                    f"job {jid} energy ledger off: recorded "
+                    f"{record.energy_j!r} J, cooling factor times blade "
+                    f"heat over busy intervals gives {expected!r} J"
+                )
+        elif power is not None and not _close(record.energy_j, energy):
             raise InvariantViolation(
                 f"job {jid} energy ledger off: recorded "
                 f"{record.energy_j!r} J, PowerModel over attempts gives "
@@ -256,14 +281,25 @@ def audit_sched_outcome(outcome, power=None,
         if (
             flop_rate is not None and record.state is JobState.COMPLETED
             and record.flops > 0
-            and not _close(record.compute_s, record.flops / flop_rate)
         ):
-            raise InvariantViolation(
-                f"job {jid} flop ledger off: {record.flops!r} flops at "
-                f"{flop_rate!r} flop/s predicts "
-                f"{record.flops / flop_rate!r} s compute, recorded "
-                f"{record.compute_s!r} s"
-            )
+            floor = record.flops / flop_rate
+            if thermal is not None:
+                # Throttled segments run slower than the nominal rate,
+                # so the floor is the unthrottled prediction.
+                if record.compute_s < floor * (1.0 - _REL_TOL) - 1e-12:
+                    raise InvariantViolation(
+                        f"job {jid} flop ledger off: {record.flops!r} "
+                        f"flops at {flop_rate!r} flop/s needs at least "
+                        f"{floor!r} s compute, recorded "
+                        f"{record.compute_s!r} s"
+                    )
+            elif not _close(record.compute_s, floor):
+                raise InvariantViolation(
+                    f"job {jid} flop ledger off: {record.flops!r} flops at "
+                    f"{flop_rate!r} flop/s predicts "
+                    f"{floor!r} s compute, recorded "
+                    f"{record.compute_s!r} s"
+                )
 
     by_blade: Dict[int, List] = defaultdict(list)
     interval_busy: Dict[str, float] = defaultdict(float)
@@ -312,6 +348,82 @@ def audit_sched_outcome(outcome, power=None,
             raise InvariantViolation(
                 f"job {label} ran for {busy!r} node-seconds but has no "
                 "allocator busy interval"
+            )
+
+    if thermal is not None:
+        audit_thermal_network(thermal)
+
+
+def audit_thermal_network(network) -> None:
+    """Energy↔temperature conservation over the RC segment ledger.
+
+    Every advanced segment of a :class:`~repro.thermal.model
+    .ThermalNetwork` (built with ``keep_ledger=True``) must satisfy
+    the lumped-RC energy balance
+
+        input  =  stored          +  rejected
+        P*dt   =  C*(T1 - T0)     +  integral (T - T_sink)/R dt
+
+    where the rejected-heat integral has its own closed form,
+    ``P*dt + (T0 - T_inf)*C*(1 - exp(-dt/tau))``.  The recorded end
+    temperature ``T1`` comes from the solver's advance; the balance
+    only closes if that endpoint sits exactly on the analytic
+    solution, so a buggy integrator (or a ledger written out of
+    order) is caught here.  Per blade, segments must also tile time
+    contiguously with continuous temperature.
+    """
+    spec = network.spec
+    tau = spec.tau_s
+    last_end: Dict[int, float] = {}
+    last_temp: Dict[int, float] = {}
+    for seg in network.segments:
+        if seg.end_s <= seg.start_s:
+            raise InvariantViolation(
+                f"blade {seg.blade} has an empty/backwards thermal "
+                f"segment [{seg.start_s!r}, {seg.end_s!r}]"
+            )
+        if seg.power_w < 0:
+            raise InvariantViolation(
+                f"blade {seg.blade} dissipated negative power "
+                f"{seg.power_w!r} W"
+            )
+        if seg.blade in last_end:
+            if seg.start_s != last_end[seg.blade]:
+                raise InvariantViolation(
+                    f"blade {seg.blade} thermal segments do not tile: "
+                    f"previous ended at {last_end[seg.blade]!r}, next "
+                    f"starts at {seg.start_s!r}"
+                )
+            if seg.temp_start_c != last_temp[seg.blade]:
+                raise InvariantViolation(
+                    f"blade {seg.blade} temperature jumped between "
+                    f"segments: {last_temp[seg.blade]!r} -> "
+                    f"{seg.temp_start_c!r} °C"
+                )
+        last_end[seg.blade] = seg.end_s
+        last_temp[seg.blade] = seg.temp_end_c
+        dt = seg.end_s - seg.start_s
+        t_inf = seg.sink_c + spec.r_c_per_w * seg.power_w
+        decay = 1.0 - math.exp(-dt / tau)
+        put_in = seg.power_w * dt
+        stored = spec.c_j_per_c * (seg.temp_end_c - seg.temp_start_c)
+        rejected = put_in + (
+            (seg.temp_start_c - t_inf) * spec.c_j_per_c * decay
+        )
+        if not math.isclose(
+            put_in, stored + rejected,
+            rel_tol=1e-9, abs_tol=1e-9 * spec.c_j_per_c,
+        ):
+            raise InvariantViolation(
+                f"blade {seg.blade} segment [{seg.start_s!r}, "
+                f"{seg.end_s!r}] breaks energy conservation: input "
+                f"{put_in!r} J, stored {stored!r} J + rejected "
+                f"{rejected!r} J"
+            )
+        if seg.temp_end_c > network.peak_c + 1e-9:
+            raise InvariantViolation(
+                f"blade {seg.blade} reached {seg.temp_end_c!r} °C but "
+                f"the network recorded peak {network.peak_c!r} °C"
             )
 
 

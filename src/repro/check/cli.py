@@ -50,6 +50,18 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
                         help="sched recording: registry platform to "
                              "run on (its content-hash is recorded so "
                              "replay detects platform drift)")
+    parser.add_argument("--thermal", action="store_true",
+                        help="sched recording: model blade temperatures "
+                             "(lumped-RC network, thermal throttling)")
+    parser.add_argument("--thermal-accel", type=float, default=1.0,
+                        help="sched recording: thermal time-constant "
+                             "compression factor (default 1)")
+    parser.add_argument("--thermal-fail", action="store_true",
+                        help="sched recording: temperature-modulated "
+                             "fault injection (implies --thermal)")
+    parser.add_argument("--no-throttle", action="store_true",
+                        help="sched recording: disable the trip-point "
+                             "frequency clamp (run to the kill point)")
 
 
 def _write_report(out_dir: str, name: str, text: str) -> Path:
@@ -93,6 +105,10 @@ def cmd_check(args) -> int:
                 fail_inject=args.fail_inject,
                 checkpoint=args.checkpoint,
                 platform=getattr(args, "platform", "metablade"),
+                thermal=args.thermal or args.thermal_fail,
+                thermal_accel=args.thermal_accel,
+                thermal_fail=args.thermal_fail,
+                throttle=not args.no_throttle,
             )
         elif args.kind == "simmpi":
             manifest = record_simmpi_manifest(seed=args.seed)

@@ -169,6 +169,16 @@ SCHED_DEFAULTS: Dict[str, Any] = {
     "checkpoint": 0,
     "max_retries": 3,
     "platform": "metablade",
+    # Thermal modelling (repro.thermal).  ``thermal`` builds the RC
+    # network; ``thermal_accel`` compresses its time constant to the
+    # stream's virtual-seconds scale; ``thermal_fail`` swaps the flat
+    # Poisson fault process for the Arrhenius-thinned one; ``throttle``
+    # off is the no-safeguards counterfactual.  All recorded in the
+    # manifest, so thermally modulated runs replay bit-exactly.
+    "thermal": False,
+    "thermal_accel": 1.0,
+    "thermal_fail": False,
+    "throttle": True,
 }
 
 
@@ -179,6 +189,8 @@ def _sched_params(seed: int, overrides: Dict[str, Any]) -> Dict[str, Any]:
         raise ValueError(f"unknown sched parameters: {sorted(unknown)}")
     params.update(overrides)
     params["seed"] = seed
+    if params["thermal_fail"] and not params["thermal"]:
+        raise ValueError("thermal_fail requires thermal=True")
     return params
 
 
@@ -208,6 +220,9 @@ def _build_sched(params: Dict[str, Any], audit: bool = False):
         checkpoint_every=checkpoint if checkpoint > 0 else None,
         max_retries=params["max_retries"],
         audit=audit,
+        thermal=params.get("thermal", False),
+        thermal_accel=params.get("thermal_accel", 1.0),
+        throttle=params.get("throttle", True),
     )
     sched = BatchScheduler(
         platform=spec,
@@ -215,13 +230,18 @@ def _build_sched(params: Dict[str, Any], audit: bool = False):
         config=config,
     )
     sched.submit_stream(specs)
+    horizon = (
+        specs[-1].arrival_s + params["jobs"] * params["interarrival"]
+    )
     if params["fail_inject"]:
-        horizon = (
-            specs[-1].arrival_s + params["jobs"] * params["interarrival"]
-        )
         sched.inject_poisson_failures(
             horizon_s=horizon, mtbf_s=params["mtbf"],
             seed=params["seed"] + 1,
+        )
+    if params.get("thermal_fail", False):
+        sched.inject_thermal_failures(
+            horizon_s=horizon, mtbf_s=params["mtbf"],
+            seed=params["seed"] + 2,
         )
     return sched
 
@@ -251,12 +271,17 @@ def record_sched_manifest(seed: int = 2001,
     sched = _build_sched(params)
     with TraceRecorder(sched.kernel) as recorder:
         sched.run()
+    payload = {
+        "platform": sched.platform.name,
+        "platform_hash": sched.platform.content_hash(),
+    }
+    if sched.thermal is not None:
+        # The *resolved* (possibly platform-derived, accelerated)
+        # thermal parameters the run actually used.
+        payload["thermal"] = sched.thermal.spec.to_dict()
     return RunManifest.make(
         "sched", seed=seed, params=params, events=recorder.events,
-        payload={
-            "platform": sched.platform.name,
-            "platform_hash": sched.platform.content_hash(),
-        },
+        payload=payload,
     )
 
 

@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli timeline --fail-rank 2 --fail-at 0.05
     python -m repro.cli sched --jobs 200 --policy backfill --fail-inject
     python -m repro.cli sched --platform green-destiny-240 --jobs 100
+    python -m repro.cli sched --thermal-fail --thermal-accel 50
+    python -m repro.cli thermal             # temperature/MTBF registry table
     python -m repro.cli platform             # the named platform registry
     python -m repro.cli platform --smoke     # build + audit every entry
     python -m repro.cli check --fuzz --quick # differential fuzz campaign
@@ -115,8 +117,19 @@ def _cmd_timeline(args) -> None:
         limit=args.limit,
         seed=args.seed,
         platform=getattr(args, "platform", None),
+        thermal=getattr(args, "thermal", False),
+        thermal_accel=getattr(args, "thermal_accel", 1.0),
     )
     print(result.text)
+
+
+def _cmd_thermal(args) -> None:
+    from repro.metrics.thermal import thermal_mtbf_report
+    from repro.platform.registry import PLATFORM_REGISTRY, platform_by_name
+
+    names = getattr(args, "platforms", None) or sorted(PLATFORM_REGISTRY)
+    _, table = thermal_mtbf_report([platform_by_name(n) for n in names])
+    print(table)
 
 
 def _sched_block(params) -> str:
@@ -126,7 +139,8 @@ def _sched_block(params) -> str:
     picklable across the process pool.
     """
     (jobs, policy, seed, interarrival, fail_inject, mtbf, checkpoint,
-     max_retries, width, platform) = params
+     max_retries, width, platform, thermal, thermal_accel, thermal_fail,
+     throttle) = params
     from repro.metrics.throughput import throughput_report
     from repro.platform.registry import platform_by_name
     from repro.sched import (
@@ -148,15 +162,22 @@ def _sched_block(params) -> str:
     config = SchedConfig(
         checkpoint_every=checkpoint if checkpoint > 0 else None,
         max_retries=max_retries,
+        thermal=thermal or thermal_fail,
+        thermal_accel=thermal_accel,
+        throttle=throttle,
     )
     sched = BatchScheduler(
         platform=spec, policy=policy_by_name(policy), config=config
     )
     sched.submit_stream(specs)
+    horizon = specs[-1].arrival_s + jobs * interarrival
     if fail_inject:
-        horizon = specs[-1].arrival_s + jobs * interarrival
         sched.inject_poisson_failures(
             horizon_s=horizon, mtbf_s=mtbf, seed=seed + 1
+        )
+    if thermal_fail:
+        sched.inject_thermal_failures(
+            horizon_s=horizon, mtbf_s=mtbf, seed=seed + 2
         )
     outcome = sched.run()
     gantt = render_gantt(
@@ -176,7 +197,11 @@ def _cmd_sched(args) -> None:
             (args.jobs, args.policy, seed, args.interarrival,
              args.fail_inject, args.mtbf, args.checkpoint,
              args.max_retries, args.width,
-             getattr(args, "platform", None))
+             getattr(args, "platform", None),
+             getattr(args, "thermal", False),
+             getattr(args, "thermal_accel", 1.0),
+             getattr(args, "thermal_fail", False),
+             not getattr(args, "no_throttle", False))
             for seed in seeds
         ],
         jobs=getattr(args, "pool_jobs", 1),
@@ -337,6 +362,12 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--platform", default=None, choices=platforms,
                     help="registry platform whose fabric carries the "
                          "step (default: metablade)")
+    pt.add_argument("--thermal", action="store_true",
+                    help="attach the lumped-RC blade thermal network "
+                         "(trip events land on the timeline)")
+    pt.add_argument("--thermal-accel", type=float, default=1.0,
+                    help="thermal time-constant compression factor "
+                         "(default 1)")
     ps = sub.add_parser(
         "sched", help="serve a batch job stream on a registry platform"
     )
@@ -367,6 +398,27 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--platform", default=None, choices=platforms,
                     help="registry platform to schedule on; picks node "
                          "count, node rate AND fabric (default: metablade)")
+    ps.add_argument("--thermal", action="store_true",
+                    help="model blade temperatures (lumped-RC network, "
+                         "coolest-first placement, thermal throttling)")
+    ps.add_argument("--thermal-accel", type=float, default=1.0,
+                    help="thermal time-constant compression factor "
+                         "(default 1)")
+    ps.add_argument("--thermal-fail", action="store_true",
+                    help="temperature-modulated fault injection via the "
+                         "Arrhenius intensity (implies --thermal; uses "
+                         "--mtbf as the 40 C baseline)")
+    ps.add_argument("--no-throttle", dest="no_throttle",
+                    action="store_true",
+                    help="disable the trip-point frequency clamp (hot "
+                         "blades run to the overtemp kill point)")
+    pth = sub.add_parser(
+        "thermal",
+        help="temperature/MTBF report across the platform registry",
+    )
+    pth.add_argument("--platforms", nargs="+", default=None,
+                     metavar="NAME", choices=platforms,
+                     help="restrict the report to these registry entries")
     pp = sub.add_parser(
         "platform",
         help="list the platform registry, or --smoke every entry",
@@ -403,6 +455,7 @@ _HANDLERS = {
     "fig3": _cmd_fig3,
     "timeline": _cmd_timeline,
     "sched": _cmd_sched,
+    "thermal": _cmd_thermal,
     "platform": _cmd_platform,
     "check": _cmd_check,
     "topper": _cmd_topper,

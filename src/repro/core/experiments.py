@@ -105,15 +105,31 @@ def experiment_table2(
     """Table 2, on any registry platform (default: MetaBlade).
 
     The platform spec supplies both the node compute rate and the
-    fabric every scaling point runs on; CPU counts beyond the
-    platform's node count are dropped.
+    fabric every scaling point runs on.  CPU counts beyond the
+    platform's node count cannot run there: they are dropped with an
+    explicit :class:`UserWarning` and the drop is recorded in the
+    result extras (``cpu_counts_dropped``) — never silently.
     """
+    import warnings
+
     from repro.nbody.parallel import scaling_study
     from repro.platform.registry import platform_by_name
 
     spec = platform_by_name(platform if platform is not None else "metablade")
     config = SimConfig(n=n, steps=steps, seed=seed, theta=0.7, softening=1e-2)
     counts = tuple(c for c in cpu_counts if c <= spec.nodes)
+    dropped = tuple(c for c in cpu_counts if c > spec.nodes)
+    if dropped:
+        warnings.warn(
+            f"table2: dropping CPU counts {dropped} — {spec.name} has "
+            f"only {spec.nodes} nodes",
+            UserWarning, stacklevel=2,
+        )
+    if not counts:
+        raise ValueError(
+            f"no CPU count in {tuple(cpu_counts)} fits {spec.name}'s "
+            f"{spec.nodes} nodes"
+        )
     points = scaling_study(
         config, counts, spec.node_flop_rate(),
         ideal_network=ideal_network, jobs=jobs, platform=spec.name,
@@ -128,7 +144,13 @@ def experiment_table2(
         ["# CPUs", "Time (sec)", "Speed-Up", "Efficiency", "Comm frac"],
         rows,
         f"Table 2: scalability of the N-body simulation on {spec.title}",
-        extras={"n_particles": float(n)},
+        extras=(
+            # The key appears only when a drop happened, so manifests
+            # of un-clipped runs stay byte-identical to the seed.
+            {"n_particles": float(n),
+             "cpu_counts_dropped": float(len(dropped))}
+            if dropped else {"n_particles": float(n)}
+        ),
     )
 
 
@@ -337,6 +359,8 @@ def experiment_timeline(
     limit: Optional[int] = 48,
     seed: int = 2001,
     platform: Optional[str] = None,
+    thermal: bool = False,
+    thermal_accel: float = 1.0,
 ) -> ExperimentResult:
     """One treecode step with the event kernel recording.
 
@@ -347,6 +371,13 @@ def experiment_timeline(
     ``platform`` names a registry entry; its spec supplies the fabric
     (e.g. Green Destiny's rack network) and node rate.  Default:
     MetaBlade.
+
+    ``thermal`` attaches the lumped-RC network from
+    :mod:`repro.thermal`: each rank's blade heats while the step runs,
+    a planned trip-point crossing clamps every rank's frequency (and
+    lands on the timeline as a ``thermal-trip`` event), and the peak
+    blade temperature joins the extras.  ``thermal_accel`` compresses
+    the thermal time constants so a short step shows the effect.
     """
     from collections import Counter
 
@@ -361,9 +392,44 @@ def experiment_timeline(
             f"{ranks} ranks exceed {spec.name}'s {spec.nodes} nodes"
         )
     kernel = EventKernel(record_timeline=True)
+    network = None
+    governor = None
+    tspec = None
+    if thermal:
+        from repro.thermal import (
+            ThermalNetwork,
+            ThermalThrottleGovernor,
+            plan_attempt,
+        )
+
+        power = spec.power_model()
+        tspec = spec.thermal_params().accelerated(thermal_accel)
+        network = ThermalNetwork(
+            ranks, tspec, node_watts=power.node_watts,
+            nodes_per_chassis=spec.fabric.nodes_per_chassis,
+        )
+        for blade in range(ranks):
+            network.set_busy(blade, 0.0)
+        plan = plan_attempt(network, range(ranks), 0.0)
+        if plan.trip_at_s is not None:
+            governor = ThermalThrottleGovernor(power.node_watts)
+            governor.clamp_at(plan.trip_at_s, tspec.throttle_scale)
+
+            def _trip(at: float = plan.trip_at_s) -> None:
+                for blade in range(ranks):
+                    network.set_busy(
+                        blade, at, scale=tspec.throttle_scale
+                    )
+                kernel.trace(
+                    "thermal-trip", time=at,
+                    scale=tspec.throttle_scale, blades=ranks,
+                )
+
+            kernel.at(plan.trip_at_s, _trip)
     runtime = SimMpiRuntime(
         ranks, fabric=spec.build_fabric(ranks),
         flop_rate=spec.node_flop_rate(), kernel=kernel,
+        governor=governor,
     )
     if fail_rank is not None:
         runtime.fail_at(fail_at_s, fail_rank, detail="injected")
@@ -380,17 +446,33 @@ def experiment_timeline(
         title=f"Unified event timeline: {ranks}-rank treecode step{suffix}",
     )
     text = table + "\n\n" + render_timeline(events, limit=limit)
+    extras = {
+        "events": float(len(events)),
+        "resumptions": float(run.resumptions),
+        "elapsed_s": run.elapsed_s,
+        "failed_ranks": float(len(run.failed_ranks)),
+    }
+    if thermal:
+        end = max(run.elapsed_s, kernel.now)
+        network.finish(end)
+        extras["peak_temp_c"] = network.peak_c
+        extras["heat_j"] = sum(
+            network.heat_joules(blade, 0.0, end) for blade in range(ranks)
+        )
+        tripped = governor is not None
+        extras["thermal_trips"] = 1.0 if tripped else 0.0
+        text += (
+            f"\n\nthermal: peak blade {network.peak_c:.1f} C "
+            f"(trip {tspec.trip_c:.0f} C, "
+            f"{'tripped' if tripped else 'no trip'}), "
+            f"{extras['heat_j']:.1f} J rejected"
+        )
     return ExperimentResult(
         experiment="timeline",
         headers=["Event kind", "Count"],
         rows=rows,
         text=text,
-        extras={
-            "events": float(len(events)),
-            "resumptions": float(run.resumptions),
-            "elapsed_s": run.elapsed_s,
-            "failed_ranks": float(len(run.failed_ranks)),
-        },
+        extras=extras,
     )
 
 

@@ -27,6 +27,7 @@ from repro.cms import CmsConfig, CodeMorphingSoftware
 from repro.core.events import EventKernel
 from repro.cpus.base import ProcessorSpec
 from repro.isa.programs import GuestWorkload
+from repro.thermal.throttle import PiecewiseGovernor
 
 
 @dataclass(frozen=True)
@@ -117,7 +118,7 @@ class DvfsTransition:
             raise ValueError("transition time cannot be negative")
 
 
-class LongRunGovernor:
+class LongRunGovernor(PiecewiseGovernor):
     """A DVFS trajectory on the unified event-kernel clock.
 
     The governor holds a piecewise-constant schedule of
@@ -130,6 +131,12 @@ class LongRunGovernor:
     segments into the per-rank energy ledger.  With a tracing kernel,
     each transition also lands on the shared timeline as a ``dvfs``
     event.
+
+    One of three implementations of the shared
+    :class:`~repro.thermal.throttle.Governor` contract: the charge
+    loop lives on :class:`~repro.thermal.throttle.PiecewiseGovernor`,
+    so a LongRun descent composes with a thermal clamp on the same
+    node via :class:`~repro.thermal.throttle.ComposedGovernor`.
     """
 
     def __init__(self, model: LongRunModel,
@@ -184,36 +191,9 @@ class LongRunGovernor:
     def power_at(self, t: float) -> float:
         return self.model.power_watts(self.step_at_time(t))
 
-    def advance(self, start: float, flops: float,
-                base_rate: float) -> Tuple[float, float]:
-        """Charge *flops* starting at *start*; -> (elapsed_s, energy_j).
-
-        *base_rate* is the node's sustained flops/s **at the top
-        step**; each trajectory segment runs at base_rate scaled by its
-        step's frequency, and energy integrates the step's power over
-        the segment.
-        """
-        if flops < 0:
-            raise ValueError("flops cannot be negative")
-        if base_rate <= 0:
-            raise ValueError("base_rate must be positive")
-        t = start
-        remaining = flops
-        energy = 0.0
-        top_mhz = self.model.top.mhz
-        while True:
-            step = self.step_at_time(t)
-            rate = base_rate * step.mhz / top_mhz
-            i = bisect_right(self._times, t)
-            next_t = self._times[i] if i < len(self._times) else None
-            if next_t is None or remaining <= (next_t - t) * rate:
-                dt = remaining / rate
-                energy += self.model.power_watts(step) * dt
-                return t + dt - start, energy
-            seg = next_t - t
-            energy += self.model.power_watts(step) * seg
-            remaining -= seg * rate
-            t = next_t
+    def next_change(self, t: float) -> Optional[float]:
+        i = bisect_right(self._times, t)
+        return self._times[i] if i < len(self._times) else None
 
 
 @dataclass(frozen=True)

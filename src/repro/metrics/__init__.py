@@ -25,12 +25,18 @@ from repro.metrics.ratios import (
     perf_space_table,
 )
 from repro.metrics.report import format_table
+from repro.metrics.thermal import (
+    ThermalMtbfRow,
+    thermal_mtbf_report,
+    thermal_mtbf_row,
+)
 from repro.metrics.throughput import ThroughputReport, throughput_report
 
 __all__ = [
     "CostParameters",
     "DEFAULT_COSTS",
     "TcoBreakdown",
+    "ThermalMtbfRow",
     "ThroughputReport",
     "ToPPeR",
     "format_table",
@@ -39,6 +45,8 @@ __all__ = [
     "perf_space_table",
     "tco_for",
     "tco_table",
+    "thermal_mtbf_report",
+    "thermal_mtbf_row",
     "throughput_report",
     "topper",
     "topper_advantage",

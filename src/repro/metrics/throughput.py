@@ -50,6 +50,10 @@ class ThroughputReport:
     requeues: int
     operational_gflops: float
     operational_topper: Optional[ToPPeR] = None
+    #: Thermal side of the run, when the RC network was enabled.
+    peak_temp_c: Optional[float] = None
+    thermal_trips: int = 0
+    overtemp_kills: int = 0
 
     def format(self) -> str:
         rows = [
@@ -76,6 +80,10 @@ class ThroughputReport:
                 ("operational ToPPeR ($/Gflop)",
                  self.operational_topper.usd_per_gflop)
             )
+        if self.peak_temp_c is not None:
+            rows.append(("peak blade temp (C)", self.peak_temp_c))
+            rows.append(("thermal trips", self.thermal_trips))
+            rows.append(("overtemp kills", self.overtemp_kills))
         return format_table(
             ("metric", "value"), rows,
             title=f"Job-stream accounting ({self.policy})",
@@ -138,4 +146,14 @@ def throughput_report(outcome: "SchedOutcome",
         requeues=sum(r.requeues for r in records),
         operational_gflops=operational_gflops,
         operational_topper=operational_topper,
+        peak_temp_c=(
+            outcome.thermal.peak_c if outcome.thermal is not None else None
+        ),
+        thermal_trips=(
+            outcome.thermal.trips if outcome.thermal is not None else 0
+        ),
+        overtemp_kills=(
+            outcome.thermal.overtemp_kills
+            if outcome.thermal is not None else 0
+        ),
     )

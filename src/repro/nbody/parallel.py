@@ -211,8 +211,29 @@ def scaling_study(config: SimConfig, cpu_counts: Tuple[int, ...],
     the points fan out over a process pool (:mod:`repro.runner`); the
     ordered merge keeps the result list identical to a serial run.
     ``platform`` names a registry entry whose declared fabric carries
-    each point (default: the MetaBlade Fast Ethernet star).
+    each point (default: the MetaBlade Fast Ethernet star).  Counts
+    exceeding that platform's node count cannot run on it; rather than
+    letting the fabric builder blow up inside a pool worker, they are
+    dropped here with an explicit :class:`UserWarning`.
     """
+    if platform is not None:
+        import warnings
+
+        from repro.platform.registry import platform_by_name
+
+        limit = platform_by_name(platform).nodes
+        dropped = tuple(c for c in cpu_counts if c > limit)
+        if dropped:
+            warnings.warn(
+                f"scaling_study: dropping CPU counts {dropped} — "
+                f"{platform} has only {limit} nodes",
+                UserWarning, stacklevel=2,
+            )
+            cpu_counts = tuple(c for c in cpu_counts if c <= limit)
+        if not cpu_counts:
+            raise ValueError(
+                f"no CPU count fits {platform}'s {limit} nodes"
+            )
     work = [
         (config, cpus, flop_rate, ideal_network, balance, platform)
         for cpus in cpu_counts

@@ -74,9 +74,36 @@ def smoke_platform(spec: PlatformSpec, jobs: int = 3,
         raise AssertionError(
             f"{spec.name}: {completed}/{jobs} jobs completed"
         )
+
+    # The same stream again with the RC thermal network on (still
+    # audited): the piecewise-exponential integrator, throttle planner
+    # and the energy<->temperature conservation auditor must hold on
+    # every registry entry.  The time-constant compression makes the
+    # blades actually approach steady state inside the tiny run.
+    tsched = BatchScheduler(
+        platform=spec,
+        config=SchedConfig(audit=True, thermal=True, thermal_accel=50.0),
+    )
+    tsched.submit_stream(
+        synthetic_stream(
+            jobs=jobs,
+            max_nodes=min(spec.nodes, 4),
+            flop_rate=spec.node_flop_rate(),
+            seed=seed,
+        )
+    )
+    toutcome = tsched.run()
+    if len(toutcome.completed) != jobs:
+        raise AssertionError(
+            f"{spec.name}: {len(toutcome.completed)}/{jobs} jobs "
+            f"completed with thermal on"
+        )
+    if toutcome.thermal is None or not toutcome.thermal.peak_c > 0.0:
+        raise AssertionError(f"{spec.name}: thermal run recorded no peak")
     return (
         f"{spec.nodes} blades, {type(fabric).__name__}, "
-        f"{completed}/{jobs} jobs, {energy:.1f} J/node-s"
+        f"{completed}/{jobs} jobs, {energy:.1f} J/node-s, "
+        f"peak {toutcome.thermal.peak_c:.1f} C"
     )
 
 

@@ -47,6 +47,7 @@ from repro.network.nic import FAST_ETHERNET_NIC, Nic
 from repro.network.switch import FAST_ETHERNET_SWITCH_24, Switch
 from repro.network.timing import IdealFabric
 from repro.network.topology import StarTopology
+from repro.thermal.model import ThermalSpec
 
 #: Fabric kinds a spec may declare.
 FABRIC_KINDS = ("star", "rack", "ideal")
@@ -239,6 +240,11 @@ class PlatformSpec:
     node_config: NodeConfig = NodeConfig()
     treecode_gflops: Optional[float] = None
     power_kw_override: Optional[float] = None
+    #: Explicit thermal parameters; ``None`` means "derive from the
+    #: power model" (see :meth:`thermal_params`), so every registry
+    #: entry has a validated thermal description without repeating the
+    #: cooled-vs-passive defaults ten times.
+    thermal: Optional[ThermalSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -295,6 +301,18 @@ class PlatformSpec:
         """The per-node electrical model used for energy accounting."""
         return PowerModel.for_spec(self.processor)
 
+    def thermal_params(self) -> ThermalSpec:
+        """The platform's resolved (validated) thermal parameters.
+
+        Explicit ``thermal`` wins; otherwise the RC pair, ambient and
+        trip points derive from the power model's cooling class —
+        actively cooled nodes sit in a machine room, passive blades in
+        the paper's warm closet.
+        """
+        if self.thermal is not None:
+            return self.thermal
+        return ThermalSpec.for_power_model(self.power_model())
+
     def cluster(self) -> Cluster:
         """The physical-economics view: the denominators of Tables 5-7."""
         return Cluster(
@@ -341,6 +359,9 @@ class PlatformSpec:
             "node_config": asdict(self.node_config),
             "treecode_gflops": self.treecode_gflops,
             "power_kw_override": self.power_kw_override,
+            "thermal": (
+                self.thermal.to_dict() if self.thermal is not None else None
+            ),
         }
 
     @classmethod
@@ -358,6 +379,10 @@ class PlatformSpec:
             node_config=NodeConfig(**doc["node_config"]),
             treecode_gflops=doc["treecode_gflops"],
             power_kw_override=doc["power_kw_override"],
+            thermal=(
+                ThermalSpec.from_dict(doc["thermal"])
+                if doc.get("thermal") is not None else None
+            ),
         )
 
     def content_hash(self) -> str:

@@ -15,7 +15,7 @@ the data behind :func:`repro.sched.gantt.render_gantt`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -64,16 +64,32 @@ class BladeAllocator:
 
     # -- allocation --------------------------------------------------------
 
-    def allocate(self, job_id: int, nodes: int,
-                 now: float) -> Tuple[int, ...]:
-        """Claim *nodes* blades for *job_id* (lowest index first)."""
+    def allocate(self, job_id: int, nodes: int, now: float,
+                 order: Optional[Sequence[int]] = None) -> Tuple[int, ...]:
+        """Claim *nodes* blades for *job_id*.
+
+        Default placement is lowest-index first-fit.  *order* overrides
+        it with a preference ranking over all blades (e.g. the thermal
+        scheduler's coolest-first ordering); the first *nodes* free
+        entries win, and the returned tuple is index-sorted either way
+        so downstream placement and traces stay canonical.
+        """
         if job_id in self._job_blades:
             raise ValueError(f"job {job_id} already holds blades")
         if nodes > len(self._free):
             raise ValueError(
                 f"job {job_id} wants {nodes} blades, {len(self._free)} free"
             )
-        blades = tuple(sorted(self._free)[:nodes])
+        if order is None:
+            blades = tuple(sorted(self._free)[:nodes])
+        else:
+            preferred = [b for b in order if b in self._free]
+            if len(preferred) < nodes:
+                raise ValueError(
+                    f"job {job_id}: preference order covers "
+                    f"{len(preferred)} free blades, needs {nodes}"
+                )
+            blades = tuple(sorted(preferred[:nodes]))
         for blade in blades:
             self._free.remove(blade)
             self._blade_job[blade] = job_id

@@ -44,6 +44,16 @@ from repro.sched.job import Attempt, JobRecord, JobSpec, JobState
 from repro.sched.policy import Policy, QueuedJob, RunningJob
 from repro.sched.workloads import JobContext
 from repro.simmpi import SimMpiRuntime
+from repro.thermal.model import (
+    ThermalNetwork,
+    ThermalSpec,
+    cooling_overhead_factor,
+)
+from repro.thermal.reliability import (
+    ArrheniusIntensity,
+    ThermalFailureInjector,
+)
+from repro.thermal.throttle import ThermalThrottleGovernor, plan_attempt
 
 
 def _payload_nbytes(state: Any) -> int:
@@ -75,9 +85,48 @@ class SchedConfig:
     #: Register repro.check invariant auditors on the kernel and audit
     #: the outcome ledgers at the end of :meth:`BatchScheduler.run`.
     audit: bool = False
+    #: Model blade temperatures as a live lumped-RC network.  Off by
+    #: default: no network is built and every legacy run is bit-
+    #: identical to the pre-thermal scheduler.
+    thermal: bool = False
+    #: Explicit thermal parameters; ``None`` derives them from the
+    #: platform (:meth:`~repro.platform.spec.PlatformSpec.thermal_params`).
+    thermal_spec: Optional[ThermalSpec] = None
+    #: Time-constant compression: scheduler streams run in compressed
+    #: virtual seconds, so benches shrink tau to match (cf. the
+    #: accelerated MTBF of :meth:`BatchScheduler.inject_poisson_failures`).
+    thermal_accel: float = 1.0
+    #: Blade placement under thermal modelling: ``"coolest"`` prefers
+    #: the coldest free blades, ``"packed"`` keeps lowest-index first-fit.
+    thermal_placement: str = "coolest"
+    #: Clamp frequency at the trip temperature.  Disabled, blades run
+    #: full speed until the kill point — the paper's "no safeguards"
+    #: counterfactual.
+    throttle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.thermal_accel <= 0:
+            raise ValueError("thermal_accel must be positive")
+        if self.thermal_placement not in ("coolest", "packed"):
+            raise ValueError(
+                "thermal_placement must be 'coolest' or 'packed', "
+                f"got {self.thermal_placement!r}"
+            )
 
     def checkpoint_io_s(self, nbytes: int) -> float:
         return self.checkpoint_latency_s + nbytes / self.checkpoint_bandwidth_bps
+
+
+@dataclass(frozen=True)
+class ThermalSummary:
+    """The thermal side of one run, for the metrics layer."""
+
+    peak_c: float                #: hottest blade temperature reached
+    trips: int                   #: throttle clamps applied
+    overtemp_kills: int          #: jobs killed at the kill temperature
+    heat_j: float                #: total blade heat over the makespan
+    fault_candidates: int = 0    #: thinning candidates drawn
+    faults: int = 0              #: temperature-modulated faults accepted
 
 
 @dataclass
@@ -92,6 +141,7 @@ class SchedOutcome:
     hub: ManagementHub
     makespan_s: float
     failures_injected: int = 0
+    thermal: Optional[ThermalSummary] = None
 
     @property
     def completed(self) -> List[JobRecord]:
@@ -126,6 +176,9 @@ class _RunningJob:
     )
     killed_at: Optional[float] = None
     killed_by_blade: Optional[int] = None
+    #: Pending trip/kill kernel events, cancelled when the job ends.
+    thermal_events: List[Any] = field(default_factory=list)
+    overtemp: bool = False
 
 
 class BatchScheduler:
@@ -179,6 +232,25 @@ class BatchScheduler:
         if self.config.audit:
             from repro.check.auditors import attach_auditors
             self._auditors = attach_auditors(self.kernel)
+        #: The lumped-RC network, or ``None`` when thermal modelling is
+        #: off (the default) — in which case nothing below ever runs.
+        self.thermal: Optional[ThermalNetwork] = None
+        self._trips = 0
+        self._overtemp_kills = 0
+        self._thermal_injector: Optional[ThermalFailureInjector] = None
+        if self.config.thermal:
+            tspec = (
+                self.config.thermal_spec
+                if self.config.thermal_spec is not None
+                else platform.thermal_params()
+            )
+            self.thermal = ThermalNetwork(
+                self.nodes,
+                tspec.accelerated(self.config.thermal_accel),
+                node_watts=self.power.node_watts,
+                nodes_per_chassis=platform.fabric.nodes_per_chassis,
+                keep_ledger=self.config.audit,
+            )
 
     # -- submission ---------------------------------------------------------
 
@@ -229,6 +301,40 @@ class BatchScheduler:
             self.inject_failure(t, blade)
         return plan
 
+    def inject_thermal_failures(self, horizon_s: float, mtbf_s: float,
+                                seed: int = 0) -> ThermalFailureInjector:
+        """Temperature-modulated faults: Arrhenius over live blade temps.
+
+        *mtbf_s* is the per-blade MTBF *at the 40 °C Arrhenius
+        reference* (accelerated to virtual seconds, exactly like
+        :meth:`inject_poisson_failures`); cool blades fail less often
+        than that, hot blades more — failure rate doubling per 10 °C.
+        Requires ``SchedConfig(thermal=True)``.  The injector chains
+        seeded thinning candidates on the shared kernel, so the whole
+        fault process replays bit-exactly under the same seed.
+        """
+        if self.thermal is None:
+            raise RuntimeError(
+                "thermal failure injection needs SchedConfig(thermal=True)"
+            )
+        if mtbf_s <= 0:
+            raise ValueError("MTBF must be positive")
+
+        def on_failure(time_s: float, blade: int) -> None:
+            self.failures_injected += 1
+            self._node_fail(blade, "thermal fault")
+
+        injector = ThermalFailureInjector(
+            self.kernel,
+            self.thermal,
+            ArrheniusIntensity(base_rate_per_s=1.0 / mtbf_s),
+            horizon_s=horizon_s,
+            seed=seed,
+            on_failure=on_failure,
+        )
+        self._thermal_injector = injector
+        return injector
+
     # -- the run loop -------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> SchedOutcome:
@@ -251,6 +357,23 @@ class BatchScheduler:
         ends = [r.end_s for r in self.records.values() if r.end_s is not None]
         makespan = max(ends) if ends else self.kernel.now
         self.allocator.finish(makespan)
+        thermal_summary = None
+        if self.thermal is not None:
+            self.thermal.finish(makespan)
+            injector = self._thermal_injector
+            thermal_summary = ThermalSummary(
+                peak_c=self.thermal.peak_c,
+                trips=self._trips,
+                overtemp_kills=self._overtemp_kills,
+                heat_j=sum(
+                    self.thermal.heat_joules(b, 0.0, makespan)
+                    for b in range(self.nodes)
+                ),
+                fault_candidates=(
+                    injector.candidates if injector is not None else 0
+                ),
+                faults=injector.accepted if injector is not None else 0,
+            )
         outcome = SchedOutcome(
             policy=self.policy.name,
             nodes=self.nodes,
@@ -260,6 +383,7 @@ class BatchScheduler:
             hub=self.hub,
             makespan_s=makespan,
             failures_injected=self.failures_injected,
+            thermal=thermal_summary,
         )
         if self._auditors and until is None:
             from repro.check.auditors import (
@@ -268,7 +392,8 @@ class BatchScheduler:
             detach_auditors(self.kernel, self._auditors)
             self._auditors = []
             audit_sched_outcome(
-                outcome, power=self.power, flop_rate=self.flop_rate
+                outcome, power=self.power, flop_rate=self.flop_rate,
+                thermal=self.thermal,
             )
         return outcome
 
@@ -324,15 +449,40 @@ class BatchScheduler:
         for entry in starting:
             self._start(entry, now)
 
+    def _placement_order(self, now: float) -> Optional[List[int]]:
+        """Thermal-aware blade preference, or ``None`` for first-fit."""
+        if self.thermal is None or self.config.thermal_placement != "coolest":
+            return None
+        return self.thermal.coolest_first(now)
+
     def _start(self, entry: _QueueEntry, now: float) -> None:
         record = entry.record
         spec = record.spec
-        blades = self.allocator.allocate(spec.job_id, spec.nodes, now)
+        blades = self.allocator.allocate(
+            spec.job_id, spec.nodes, now, order=self._placement_order(now)
+        )
         record.wait_s += now - entry.ready_s
         start_unit, states = self._restore_point(spec.job_id)
         attempt = Attempt(start_s=now, start_unit=start_unit)
         record.attempts.append(attempt)
         record.state = JobState.RUNNING
+        # Thermal planning happens *here*, at the attempt-start event:
+        # every transition of the attempt (trip clamp, kill) is solved
+        # and inserted before any rank of the job resumes, so lazily
+        # billed compute can never outrun a frequency change.
+        governor = None
+        plan = None
+        if self.thermal is not None:
+            for blade in blades:
+                self.thermal.set_busy(blade, now)
+            plan = plan_attempt(
+                self.thermal, blades, now, throttle=self.config.throttle
+            )
+            if plan.trip_at_s is not None:
+                governor = ThermalThrottleGovernor(self.power.node_watts)
+                governor.clamp_at(
+                    plan.trip_at_s, self.thermal.spec.throttle_scale
+                )
         # The job's world runs on the platform's declared fabric, its
         # endpoints placed into the chassis of the blades it was
         # actually allocated (matters on multi-level rack fabrics).
@@ -341,11 +491,21 @@ class BatchScheduler:
             fabric=self.platform.build_fabric(spec.nodes, blades=blades),
             flop_rate=self.flop_rate,
             kernel=self.kernel,
+            governor=governor,
         )
         running = _RunningJob(
             record=record, runtime=runtime, blades=blades, attempt=attempt
         )
         self._running[spec.job_id] = running
+        if plan is not None:
+            if plan.trip_at_s is not None:
+                running.thermal_events.append(
+                    self.kernel.at(plan.trip_at_s, self._thermal_trip, running)
+                )
+            if plan.kill_at_s is not None:
+                running.thermal_events.append(
+                    self.kernel.at(plan.kill_at_s, self._overtemp_kill, running)
+                )
         ctx = JobContext(
             start_unit=start_unit,
             states=states,
@@ -386,7 +546,10 @@ class BatchScheduler:
         self.allocator.release(spec.job_id, now)
         running.attempt.end_s = now
         duration = now - running.attempt.start_s
-        record.energy_j += spec.nodes * self.power.energy_joules(duration)
+        if self.thermal is not None:
+            self._end_attempt_thermal(running, now)
+        else:
+            record.energy_j += spec.nodes * self.power.energy_joules(duration)
         if running.killed_at is None:
             record.state = JobState.COMPLETED
             record.end_s = now
@@ -464,6 +627,98 @@ class BatchScheduler:
         self.allocator.mark_up(blade, self.kernel.now)
         self.kernel.trace("node-up", node=blade)
         self._dispatch()
+
+    # -- thermal events -----------------------------------------------------
+
+    def _thermal_trip(self, running: _RunningJob) -> None:
+        """The planned trip instant: clamp the whole attempt's blades."""
+        job_id = running.record.spec.job_id
+        if self._running.get(job_id) is not running:
+            return
+        if running.killed_at is not None:
+            return
+        now = self.kernel.now
+        scale = self.thermal.spec.throttle_scale
+        for blade in running.blades:
+            self.thermal.set_busy(blade, now, scale=scale)
+        self._trips += 1
+        self.kernel.trace(
+            "thermal-trip", job=job_id, scale=scale,
+            blades=",".join(str(b) for b in running.blades),
+        )
+
+    def _overtemp_kill(self, running: _RunningJob) -> None:
+        """The planned kill instant: the job dies, the blade cools."""
+        job_id = running.record.spec.job_id
+        if self._running.get(job_id) is not running:
+            return
+        if running.killed_at is not None:
+            return
+        now = self.kernel.now
+        # The hottest blade of the attempt is the one that crossed the
+        # kill temperature (lowest index breaks exact ties).
+        victim = max(
+            running.blades,
+            key=lambda b: (self.thermal.temperature(b, now), -b),
+        )
+        victim_rank = running.blades.index(victim)
+        killed = running.runtime.kill_all(victim_rank, now, detail="overtemp")
+        if killed == 0:
+            # The world already finalized at or before now: the job
+            # beat its kill time, and its blades are about to go idle.
+            return
+        running.killed_at = now
+        running.killed_by_blade = victim
+        running.overtemp = True
+        running.record.failures += 1
+        self._overtemp_kills += 1
+        time_h = now / 3600.0
+        self.hub.record(
+            ManagementEvent(time_h, EventKind.FAILURE, victim, "overtemp")
+        )
+        self.hub.record(
+            ManagementEvent(
+                time_h + self.hub.detection_latency_h,
+                EventKind.DETECTED, victim, "overtemp",
+            )
+        )
+        self.allocator.mark_down(victim, now, "overtemp")
+        self.kernel.trace("overtemp-kill", job=job_id, node=victim)
+
+    def _end_attempt_thermal(self, running: _RunningJob, now: float) -> None:
+        """Settle an attempt's thermal side at its finish event.
+
+        Blades drop to idle heat, pending trip/kill events die, and
+        the job is billed the *actual* blade heat over the attempt —
+        throttled stretches dissipate less — times the cooling
+        overhead (with throttling never engaged this reproduces
+        ``PowerModel.energy_joules`` exactly).  An overtemp-killed
+        blade rejoins service only once it has cooled to the resume
+        temperature: a physical repair time instead of the flat
+        ``repair_s``.
+        """
+        for event in running.thermal_events:
+            event.cancel()
+        running.thermal_events = []
+        for blade in running.blades:
+            self.thermal.set_idle(blade, now)
+        heat = sum(
+            self.thermal.heat_joules(b, running.attempt.start_s, now)
+            for b in running.blades
+        )
+        running.record.energy_j += cooling_overhead_factor(self.power) * heat
+        if running.overtemp:
+            victim = running.killed_by_blade
+            resume = self.thermal.spec.resume_c
+            if self.thermal.temperature(victim, now) <= resume:
+                t_up = now
+            else:
+                t_up = self.thermal.time_to_reach(victim, resume, now)
+                if t_up is None:
+                    # The idle steady state sits above the resume
+                    # point; waiting would wedge the blade forever.
+                    t_up = now
+            self.kernel.at(t_up, self._node_repair, victim)
 
     # -- checkpointing ------------------------------------------------------
 

@@ -116,7 +116,7 @@ def test_campaign_stops_at_max_failures(tmp_path, monkeypatch):
 def test_sched_oracle_catches_invariant_violations(monkeypatch):
     from repro.check import auditors
 
-    def explode(outcome, power=None, flop_rate=None):
+    def explode(outcome, power=None, flop_rate=None, thermal=None):
         raise auditors.InvariantViolation("planted ledger rot")
 
     with monkeypatch.context() as patch:

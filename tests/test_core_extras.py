@@ -60,3 +60,32 @@ def test_facade_topper_uses_sustained_rating():
     rating = machine.topper()
     assert rating.cluster_name == "MetaBlade"
     assert rating.usd_per_gflop > 0
+
+
+def test_table2_warns_and_records_dropped_cpu_counts():
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = experiment_table2(
+            n=300, steps=1, cpu_counts=(1, 2, 64), platform="loki"
+        )
+    assert [r[0] for r in result.rows] == [1, 2]
+    assert result.extras["cpu_counts_dropped"] == 1.0
+    messages = [str(w.message) for w in caught
+                if issubclass(w.category, UserWarning)]
+    assert any("64" in m and "loki" in m for m in messages)
+    # The un-clipped path records nothing (golden manifests depend on
+    # the extras dict staying byte-identical).
+    clean = experiment_table2(
+        n=300, steps=1, cpu_counts=(1, 2), platform="loki"
+    )
+    assert "cpu_counts_dropped" not in clean.extras
+
+
+def test_table2_rejects_an_all_dropped_sweep():
+    with pytest.warns(UserWarning):
+        with pytest.raises(ValueError):
+            experiment_table2(
+                n=300, steps=1, cpu_counts=(32, 64), platform="loki"
+            )

@@ -65,3 +65,10 @@ def test_work_balance_beats_count_balance_at_scale():
     work = scaling_study(cfg, (1, 12), RATE, balance="work")[-1]
     count = scaling_study(cfg, (1, 12), RATE, balance="count")[-1]
     assert work.time_s <= count.time_s * 1.02
+
+
+def test_scaling_study_warns_on_counts_beyond_the_platform():
+    cfg = SimConfig(n=200, steps=1, seed=3)
+    with pytest.warns(UserWarning, match="loki has only 16 nodes"):
+        points = scaling_study(cfg, (1, 2, 999), RATE, platform="loki")
+    assert [p.cpus for p in points] == [1, 2]

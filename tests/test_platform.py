@@ -193,9 +193,11 @@ def test_table5_from_registry_platforms_matches_default():
 
 
 def test_table2_clips_cpu_counts_to_platform_nodes():
-    result = experiment_table2(
-        n=300, steps=1, cpu_counts=(1, 2, 64), seed=2001, platform="loki"
-    )
+    with pytest.warns(UserWarning, match="loki has only 16 nodes"):
+        result = experiment_table2(
+            n=300, steps=1, cpu_counts=(1, 2, 64), seed=2001,
+            platform="loki",
+        )
     assert [row[0] for row in result.rows] == [1, 2]
     assert "on Loki" in result.text
 
