@@ -18,6 +18,10 @@ This package turns that convention into a checked property:
   compute-time ledger, energy vs PowerModel, allocator busy/down
   interval consistency).  Opt in via ``SchedConfig(audit=True)`` or
   ``SimConfig(audit=True)``.
+- :mod:`repro.check.cachediff` — the profile-cache differential audit
+  behind ``python -m repro.cli check --cache-diff``: a scheduler
+  configuration matrix run cache-on vs cache-off, requiring bit-exact
+  outcome digests and identical trace hashes.
 - :mod:`repro.check.fuzz` — the differential fuzz driver behind
   ``python -m repro.cli check --fuzz``: randomized cases through three
   oracles (CMS translator vs golden interpreter, batched vs naive
@@ -33,6 +37,13 @@ from repro.check.auditors import (
     audit_sched_outcome,
     audit_sim_result,
     detach_auditors,
+)
+from repro.check.cachediff import (
+    CacheDiffCase,
+    CacheDiffReport,
+    manifest_trace_hash,
+    run_cache_differential,
+    sched_outcome_digest,
 )
 from repro.check.manifest import RunManifest, TraceRecorder, mutate_event
 from repro.check.replay import (
@@ -55,6 +66,8 @@ from repro.check.fuzz import (
 )
 
 __all__ = [
+    "CacheDiffCase",
+    "CacheDiffReport",
     "ClockOrderAuditor",
     "Divergence",
     "FuzzFailure",
@@ -70,13 +83,16 @@ __all__ = [
     "audit_sched_outcome",
     "audit_sim_result",
     "detach_auditors",
+    "manifest_trace_hash",
     "mutate_event",
     "record_fig3_manifest",
     "record_sched_manifest",
     "record_simmpi_manifest",
     "record_table2_manifest",
     "replay_manifest",
+    "run_cache_differential",
     "run_fuzz",
+    "sched_outcome_digest",
     "run_fuzz_case",
     "verify_golden_manifest",
 ]

@@ -6,6 +6,10 @@ Modes (mutually exclusive):
 - ``--record PATH``     record a run manifest (``--kind`` picks the
                         recipe: sched | simmpi | table2 | fig3)
 - ``--replay PATH``     replay-verify any saved manifest
+- ``--cache-diff``      profile-cache differential audit: run a
+                        scheduler configuration matrix cache-on vs
+                        cache-off and require bit-identical outcome
+                        digests and trace hashes
 
 Exit status is non-zero on any divergence or fuzz failure, and
 divergence reports are written under ``--out`` so CI can upload them
@@ -26,6 +30,9 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
                       help="record a run manifest to PATH")
     mode.add_argument("--replay", metavar="PATH", default=None,
                       help="replay-verify the manifest at PATH")
+    mode.add_argument("--cache-diff", action="store_true",
+                      help="profile-cache differential audit "
+                           "(cache-on vs cache-off, bit-exact)")
     parser.add_argument("--kind", default="sched",
                         choices=["sched", "simmpi", "table2", "fig3"],
                         help="what --record records (default: sched)")
@@ -79,8 +86,21 @@ def cmd_check(args) -> int:
         record_simmpi_manifest,
         record_table2_manifest,
         replay_manifest,
+        run_cache_differential,
         run_fuzz,
     )
+
+    if args.cache_diff:
+        report = run_cache_differential(
+            seed=args.seed, jobs=args.jobs, quick=args.quick,
+        )
+        print(report.format())
+        if not report.ok:
+            path = _write_report(args.out, "cache_diff_report.txt",
+                                 report.format())
+            print(f"cache differential report written to {path}")
+            return 1
+        return 0
 
     if args.fuzz:
         cases = args.cases

@@ -179,6 +179,11 @@ SCHED_DEFAULTS: Dict[str, Any] = {
     "thermal_accel": 1.0,
     "thermal_fail": False,
     "throttle": True,
+    # Job-profile memoization (repro.sched.profile_cache).  Recorded
+    # in the manifest so a replay rebuilds the same configuration;
+    # tracing attaches an observer, which itself forces the cache to
+    # bypass, so traces are cache-agnostic either way.
+    "profile_cache": True,
 }
 
 
@@ -223,6 +228,9 @@ def _build_sched(params: Dict[str, Any], audit: bool = False):
         thermal=params.get("thermal", False),
         thermal_accel=params.get("thermal_accel", 1.0),
         throttle=params.get("throttle", True),
+        # Manifests recorded before the profile cache existed carry no
+        # key and mean "enabled" (outcome-invariant either way).
+        profile_cache=params.get("profile_cache", True),
     )
     sched = BatchScheduler(
         platform=spec,
@@ -249,8 +257,11 @@ def _build_sched(params: Dict[str, Any], audit: bool = False):
 def _sched_context(sched) -> Callable[[], Dict[str, Any]]:
     def context() -> Dict[str, Any]:
         clocks = {
-            f"job {job_id} rank clocks": tuple(
-                round(c.clock, 9) for c in (run.runtime._comms or ())
+            f"job {job_id} rank clocks": (
+                tuple(
+                    round(c.clock, 9) for c in (run.runtime._comms or ())
+                )
+                if run.runtime is not None else "fast-path"
             )
             for job_id, run in sched._running.items()
         }

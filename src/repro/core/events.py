@@ -61,23 +61,44 @@ class TimelineEvent:
 
 
 class Event:
-    """A scheduled callback; ``cancel()`` makes it a no-op."""
+    """A scheduled callback; ``cancel()`` makes it a no-op.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    ``key`` is the frozen ``(time, seq)`` heap priority, computed once
+    at construction so every heap comparison is a plain tuple compare
+    instead of allocating two fresh tuples per ``__lt__`` call — the
+    single hottest allocation site of the old kernel loop.
+
+    ``kernel`` back-references the owning kernel while the event sits
+    in its heap, which is what keeps the kernel's live/cancelled
+    counters exact under ``cancel()``.  The kernel clears the reference
+    when the event is dequeued, so cancelling an already-fired event
+    (schedulers do this when tearing down attempt-scoped events) is
+    counter-neutral.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "key", "kernel")
 
     def __init__(self, time: float, seq: int,
-                 fn: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+                 fn: Callable[..., Any], args: Tuple[Any, ...],
+                 kernel: Optional["EventKernel"] = None) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.key = (time, seq)
+        self.kernel = kernel
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        kernel = self.kernel
+        if kernel is not None:
+            kernel._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return self.key < other.key
 
 
 class EventKernel:
@@ -90,6 +111,11 @@ class EventKernel:
         self.timeline: List[TimelineEvent] = []
         self._heap: List[Event] = []
         self._seq = 0
+        #: Live (non-cancelled) events in the heap, and cancelled
+        #: entries still awaiting lazy deletion.  Together they make
+        #: ``pending()``/``idle`` O(1) and drive heap compaction.
+        self._live = 0
+        self._dead = 0
         #: Trace observers: called with every TimelineEvent as it is
         #: emitted, whether or not the kernel keeps a timeline itself.
         #: The repro.check recorder and auditors register here.
@@ -106,8 +132,9 @@ class EventKernel:
         if time < 0:
             raise ValueError("cannot schedule at negative virtual time")
         self._seq += 1
-        event = Event(time, self._seq, fn, args)
+        event = Event(time, self._seq, fn, args, self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def after(self, delay: float, fn: Callable[..., Any],
@@ -118,8 +145,8 @@ class EventKernel:
         return self.at(self.now + delay, fn, *args)
 
     def pending(self) -> int:
-        """Live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) events still queued — O(1)."""
+        return self._live
 
     @property
     def idle(self) -> bool:
@@ -130,17 +157,41 @@ class EventKernel:
         the latter means some tenant is stuck waiting on an event
         nobody will ever post.
         """
-        return self._next_time() == float("inf")
+        return self._live == 0
+
+    # -- lazy deletion ------------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for one in-heap cancellation (from Event.cancel)."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead > 64 and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries once they outnumber live ones.
+
+        Mutates the heap list *in place*: the run loop holds a local
+        alias of ``_heap``, so rebinding would silently fork the queue.
+        """
+        self._heap[:] = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     # -- the loop ----------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the next event; False when the queue is drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
             if event.cancelled:
+                self._dead -= 1
                 continue
-            self.now = max(self.now, event.time)
+            self._live -= 1
+            event.kernel = None
+            if event.time > self.now:
+                self.now = event.time
             self.fired += 1
             if self._fire_hooks:
                 for hook in self._fire_hooks:
@@ -151,23 +202,67 @@ class EventKernel:
 
     def run(self, until: Optional[float] = None) -> float:
         """Drain the queue (or stop once the clock passes *until*)."""
-        while self._heap:
-            if until is not None and self._next_time() > until:
+        if type(self).step is not EventKernel.step:
+            # A subclass overrode step(): dispatch through it so the
+            # override sees every event (auditor tests rely on this).
+            while self._heap:
+                if until is not None and self._next_time() > until:
+                    break
+                self.step()
+            return self.now
+        # The hot path: everything per-event is inlined, with the hook
+        # guard reduced to a single truthiness test on the (aliased,
+        # in-place mutated) hook list.  Callbacks may schedule, cancel
+        # and even compact the heap mid-loop — both aliases below stay
+        # valid because all of those mutate the same list object.
+        heap = self._heap
+        hooks = self._fire_hooks
+        pop = heapq.heappop
+        if until is None:
+            while heap:
+                event = pop(heap)
+                if event.cancelled:
+                    self._dead -= 1
+                    continue
+                self._live -= 1
+                event.kernel = None
+                if event.time > self.now:
+                    self.now = event.time
+                self.fired += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(event)
+                event.fn(*event.args)
+            return self.now
+        while heap:
+            if self._next_time() > until:
                 break
-            self.step()
+            event = pop(heap)
+            if event.cancelled:
+                self._dead -= 1
+                continue
+            self._live -= 1
+            event.kernel = None
+            if event.time > self.now:
+                self.now = event.time
+            self.fired += 1
+            if hooks:
+                for hook in hooks:
+                    hook(event)
+            event.fn(*event.args)
         return self.now
 
     def _next_time(self) -> float:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else float("inf")
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        return heap[0].time if heap else float("inf")
 
     def next_times(self, limit: int = 3) -> List[float]:
         """Fire times of the next few live events (diagnostics)."""
-        times = sorted(
-            (e.time, e.seq) for e in self._heap if not e.cancelled
-        )
-        return [t for t, _ in times[:limit]]
+        keys = sorted(e.key for e in self._heap if not e.cancelled)
+        return [t for t, _ in keys[:limit]]
 
     # -- timeline ----------------------------------------------------------
 

@@ -54,6 +54,12 @@ class ThroughputReport:
     peak_temp_c: Optional[float] = None
     thermal_trips: int = 0
     overtemp_kills: int = 0
+    #: Profile-cache accounting (the CMS-tcache analogue): dispatches
+    #: replayed from cache, measured normalized runs, legacy-path
+    #: attempts.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bypasses: int = 0
 
     def format(self) -> str:
         rows = [
@@ -84,6 +90,10 @@ class ThroughputReport:
             rows.append(("peak blade temp (C)", self.peak_temp_c))
             rows.append(("thermal trips", self.thermal_trips))
             rows.append(("overtemp kills", self.overtemp_kills))
+        if self.cache_hits or self.cache_misses or self.cache_bypasses:
+            rows.append(("profile-cache hits", self.cache_hits))
+            rows.append(("profile-cache misses", self.cache_misses))
+            rows.append(("profile-cache bypasses", self.cache_bypasses))
         return format_table(
             ("metric", "value"), rows,
             title=f"Job-stream accounting ({self.policy})",
@@ -156,4 +166,7 @@ def throughput_report(outcome: "SchedOutcome",
             outcome.thermal.overtemp_kills
             if outcome.thermal is not None else 0
         ),
+        cache_hits=getattr(outcome, "cache_hits", 0),
+        cache_misses=getattr(outcome, "cache_misses", 0),
+        cache_bypasses=getattr(outcome, "cache_bypasses", 0),
     )

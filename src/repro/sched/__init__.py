@@ -33,6 +33,11 @@ from repro.sched.allocator import BladeAllocator, BladeInterval
 from repro.sched.gantt import render_gantt
 from repro.sched.job import JobRecord, JobSpec, JobState, synthetic_stream
 from repro.sched.policy import EasyBackfill, Fcfs, policy_by_name
+from repro.sched.profile_cache import (
+    JobProfile,
+    ProfileCache,
+    job_profile_key,
+)
 from repro.sched.scheduler import BatchScheduler, SchedConfig, SchedOutcome
 from repro.sched.workloads import (
     MicrokernelSweep,
@@ -47,15 +52,18 @@ __all__ = [
     "BladeInterval",
     "EasyBackfill",
     "Fcfs",
+    "JobProfile",
     "JobRecord",
     "JobSpec",
     "JobState",
     "MicrokernelSweep",
+    "ProfileCache",
     "NpbKernelJob",
     "SchedConfig",
     "SchedOutcome",
     "TreecodeJob",
     "Workload",
+    "job_profile_key",
     "policy_by_name",
     "render_gantt",
     "synthetic_stream",

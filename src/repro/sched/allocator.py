@@ -42,6 +42,11 @@ class BladeAllocator:
         self._blade_job: Dict[int, int] = {}
         self._open: Dict[int, Tuple[float, str, str]] = {}
         self.intervals: List[BladeInterval] = []
+        #: Running totals alongside the interval log, so the per-call
+        #: busy/down queries stay O(1) (the metrics layer polls them
+        #: inside scheduler loops).
+        self._busy_s = 0.0
+        self._down_s = 0.0
 
     # -- queries -----------------------------------------------------------
 
@@ -144,6 +149,10 @@ class BladeAllocator:
             self.intervals.append(
                 BladeInterval(blade, start, now, kind, label)
             )
+            if kind == "busy":
+                self._busy_s += now - start
+            else:
+                self._down_s += now - start
         if kind == "busy" and blade in self._down:
             # The blade died while busy: its outage continues.
             self._open[blade] = (now, "down", label)
@@ -155,11 +164,7 @@ class BladeAllocator:
             self._open.pop(blade, None)
 
     def busy_node_seconds(self) -> float:
-        return sum(
-            i.end_s - i.start_s for i in self.intervals if i.kind == "busy"
-        )
+        return self._busy_s
 
     def down_node_seconds(self) -> float:
-        return sum(
-            i.end_s - i.start_s for i in self.intervals if i.kind == "down"
-        )
+        return self._down_s

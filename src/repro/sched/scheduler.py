@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import random
 from bisect import insort
-from dataclasses import dataclass, field
+
+import numpy as np
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.management import EventKind, ManagementEvent, ManagementHub
@@ -42,6 +44,11 @@ from repro.core.system import BladedBeowulf
 from repro.sched.allocator import BladeAllocator
 from repro.sched.job import Attempt, JobRecord, JobSpec, JobState
 from repro.sched.policy import Policy, QueuedJob, RunningJob
+from repro.sched.profile_cache import (
+    JobProfile,
+    ProfileCache,
+    job_profile_key,
+)
 from repro.sched.workloads import JobContext
 from repro.simmpi import SimMpiRuntime
 from repro.thermal.model import (
@@ -103,6 +110,15 @@ class SchedConfig:
     #: full speed until the kill point — the paper's "no safeguards"
     #: counterfactual.
     throttle: bool = True
+    #: Memoize per-job outcome profiles (the CMS-tcache analogue):
+    #: dispatches whose content key — workload repr, width, platform
+    #: hash, fabric placement, checkpoint plan — matches an earlier one
+    #: replay its recorded delta instead of re-simulating a SimMPI
+    #: world.  Only fast-path-eligible jobs are ever cached, and those
+    #: run the same normalized simulation whether this is on or off,
+    #: so toggling it cannot change any outcome field (see
+    #: :mod:`repro.sched.profile_cache`).
+    profile_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.thermal_accel <= 0:
@@ -142,6 +158,11 @@ class SchedOutcome:
     makespan_s: float
     failures_injected: int = 0
     thermal: Optional[ThermalSummary] = None
+    #: Profile-cache accounting: dispatches served from cache, measured
+    #: normalized runs, and attempts routed down the legacy path.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bypasses: int = 0
 
     @property
     def completed(self) -> List[JobRecord]:
@@ -167,7 +188,10 @@ class _QueueEntry:
 @dataclass
 class _RunningJob:
     record: JobRecord
-    runtime: SimMpiRuntime
+    #: ``None`` for fast-path jobs: their world already ran (or was
+    #: replayed from cache) in a scratch kernel, so nothing lives on
+    #: the shared clock but their finish event.
+    runtime: Optional[SimMpiRuntime]
     blades: Tuple[int, ...]
     attempt: Attempt
     #: Partial checkpoints: unit -> {rank: (state, rank clock)}.
@@ -224,6 +248,11 @@ class BatchScheduler:
         self.power = platform.power_model()
         self.records: Dict[int, JobRecord] = {}
         self.failures_injected = 0
+        #: The CMS-tcache analogue (see repro.sched.profile_cache);
+        #: ``SchedConfig.profile_cache=False`` keeps the normalized
+        #: fast path but disables memoization.
+        self.profile_cache = ProfileCache(enabled=self.config.profile_cache)
+        self._platform_hash: Optional[str] = None
         self._queue: List[_QueueEntry] = []
         self._running: Dict[int, _RunningJob] = {}
         #: Complete checkpoints: job id -> [(unit, states, write-done clock)].
@@ -347,7 +376,10 @@ class BatchScheduler:
             ]
             if stuck:
                 worlds = {
-                    job_id: run.runtime.unfinished_ranks()
+                    job_id: (
+                        run.runtime.unfinished_ranks()
+                        if run.runtime is not None else "fast-path"
+                    )
                     for job_id, run in self._running.items()
                 }
                 raise RuntimeError(
@@ -384,6 +416,9 @@ class BatchScheduler:
             makespan_s=makespan,
             failures_injected=self.failures_injected,
             thermal=thermal_summary,
+            cache_hits=self.profile_cache.hits,
+            cache_misses=self.profile_cache.misses,
+            cache_bypasses=self.profile_cache.bypasses,
         )
         if self._auditors and until is None:
             from repro.check.auditors import (
@@ -455,7 +490,162 @@ class BatchScheduler:
             return None
         return self.thermal.coolest_first(now)
 
+    # -- the profile-cache fast path ---------------------------------------
+
+    def _fastpath_eligible(self, record: JobRecord) -> bool:
+        """Whether this dispatch may take the normalized fast path.
+
+        Every condition here is an *invalidation trigger* of the
+        profile cache: anything that can observe or perturb the job
+        mid-flight forces the legacy shared-kernel route, where the
+        behaviour is identical to the pre-cache scheduler.
+        """
+        if self.config.audit or self.thermal is not None:
+            return False                 # auditors / thermal throttling
+        if self.failures_injected or self._thermal_injector is not None:
+            return False                 # mid-run kills possible
+        kernel = self.kernel
+        if kernel.record_timeline or kernel._observers or kernel._fire_hooks:
+            return False                 # tracing or kernel auditors
+        if not getattr(record.spec.workload, "cacheable", False):
+            return False                 # payload opted out
+        if record.failures or record.requeues:
+            return False                 # defensive: never a fresh start
+        return True
+
+    def _start_fast(self, entry: _QueueEntry, now: float) -> None:
+        """Dispatch an eligible job without touching the shared kernel.
+
+        The job's world runs (or replays) in a scratch kernel at
+        ``t=0``; the shared clock sees exactly one event — the finish
+        at ``now + elapsed`` — so a 10k-job campaign schedules O(jobs)
+        shared events instead of O(messages).
+        """
+        record = entry.record
+        spec = record.spec
+        blades = self.allocator.allocate(spec.job_id, spec.nodes, now)
+        record.wait_s += now - entry.ready_s
+        attempt = Attempt(start_s=now, start_unit=0)
+        record.attempts.append(attempt)
+        record.state = JobState.RUNNING
+        if self._platform_hash is None:
+            self._platform_hash = self.platform.content_hash()
+        key = job_profile_key(
+            spec, self.platform, blades, self.config,
+            platform_hash=self._platform_hash,
+        )
+        profile = self.profile_cache.get(key)
+        if profile is None:
+            profile = self._profile_job(spec, blades)
+            self.profile_cache.put(key, profile)
+        running = _RunningJob(
+            record=record, runtime=None, blades=blades, attempt=attempt
+        )
+        self._running[spec.job_id] = running
+        self.kernel.at(
+            now + profile.elapsed_s, self._finish_fast, running, profile
+        )
+
+    def _profile_job(self, spec: JobSpec,
+                     blades: Tuple[int, ...]) -> JobProfile:
+        """Measure one job in a scratch world at virtual ``t=0``.
+
+        This is the normalized execution both cache states share: the
+        world is simulated on a private kernel with the same fabric
+        (placed on the actually-allocated blades), flop rate and
+        checkpoint billing as the legacy path — only the time origin
+        differs, which is what makes the profile reusable.
+        """
+        kernel = EventKernel()
+        runtime = SimMpiRuntime(
+            spec.nodes,
+            fabric=self.platform.build_fabric(spec.nodes, blades=blades),
+            flop_rate=self.flop_rate,
+            kernel=kernel,
+        )
+        workload = spec.workload
+        every = self.config.checkpoint_every
+        checkpoint_io = [0.0]
+        checkpoints = [0]
+        pending: Dict[int, set] = {}
+
+        def on_unit(comm, unit: int, state: Any) -> None:
+            # Mirrors _on_unit's billing exactly: the I/O stall shapes
+            # the rank clocks (hence the profile's duration), and the
+            # counters land on the record at replay.  The states are
+            # not kept — a fast-path job can never be killed, so no
+            # restore point is ever read.
+            done = unit + 1
+            if (
+                every is None or state is None or not workload.checkpointable
+                or done >= workload.units or done % every
+            ):
+                return
+            io_s = self.config.checkpoint_io_s(_payload_nbytes(state))
+            comm.stall(io_s)
+            checkpoint_io[0] += io_s
+            ranks = pending.setdefault(done, set())
+            ranks.add(comm.rank)
+            if len(ranks) == spec.nodes:
+                checkpoints[0] += 1
+                del pending[done]
+
+        ctx = JobContext(start_unit=0, states=None, on_unit=on_unit)
+        program = workload.make_program(self.flop_rate, spec.nodes, ctx)
+        done_results: List[Any] = []
+        runtime.launch(
+            program, start_time=0.0, on_complete=done_results.append
+        )
+        kernel.run()
+        if not done_results:
+            blocked = [
+                r for r, t in enumerate(runtime._tasks or []) if t.alive
+            ]
+            raise runtime._deadlock_error(blocked)
+        result = done_results[0]
+        return JobProfile(
+            elapsed_s=result.elapsed_s,
+            clocks=result.clocks,
+            result0=result.results[0] if result.results else None,
+            compute_s=sum(s.compute_s for s in result.stats),
+            flops=sum(s.flops for s in result.stats),
+            energy_j=spec.nodes * self.power.energy_joules(result.elapsed_s),
+            checkpoints=checkpoints[0],
+            checkpoint_io_s=checkpoint_io[0],
+            stats=tuple(replace(s) for s in result.stats),
+            resumptions=result.resumptions,
+        )
+
+    def _finish_fast(self, running: _RunningJob,
+                     profile: JobProfile) -> None:
+        """Settle a fast-path job: replay its profile onto the ledger."""
+        now = self.kernel.now
+        record = running.record
+        spec = record.spec
+        self._running.pop(spec.job_id, None)
+        self.allocator.release(spec.job_id, now)
+        running.attempt.end_s = now
+        record.state = JobState.COMPLETED
+        record.end_s = now
+        result0 = profile.result0
+        if isinstance(result0, np.ndarray):
+            # Replayed records must not alias one shared array.
+            result0 = result0.copy()
+        record.result = result0
+        record.energy_j += profile.energy_j
+        record.compute_s += profile.compute_s
+        record.flops += profile.flops
+        record.checkpoints += profile.checkpoints
+        record.checkpoint_io_s += profile.checkpoint_io_s
+        self._dispatch()
+
+    # -- the legacy (shared-kernel) dispatch path ---------------------------
+
     def _start(self, entry: _QueueEntry, now: float) -> None:
+        if self._fastpath_eligible(entry.record):
+            self._start_fast(entry, now)
+            return
+        self.profile_cache.bypasses += 1
         record = entry.record
         spec = record.spec
         blades = self.allocator.allocate(
@@ -613,6 +803,14 @@ class BatchScheduler:
         running = self._running.get(job_id)
         if running is None or running.killed_at is not None:
             return
+        if running.runtime is None:
+            # Unreachable by construction: any failure injection bumps
+            # failures_injected before the kernel runs, which disables
+            # fast-path eligibility for every subsequent dispatch.
+            raise RuntimeError(
+                f"failure injected into fast-path job {job_id}; "
+                "profile-cache eligibility is stale"
+            )
         victim_rank = running.blades.index(blade)
         killed = running.runtime.kill_all(victim_rank, now, detail=detail)
         if killed == 0:

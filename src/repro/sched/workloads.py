@@ -45,6 +45,11 @@ class Workload:
     units: int = 1
     #: Whether unit state snapshots allow a checkpoint restart.
     checkpointable: bool = False
+    #: Whether execution is a pure function of the payload's declarative
+    #: content (its class + frozen-dataclass repr).  Required for the
+    #: scheduler's profile cache; payloads carrying hidden mutable state
+    #: must leave this False, which routes them down the legacy path.
+    cacheable: bool = False
 
     def est_flops(self) -> float:
         """Estimated total flops (whole job, all ranks)."""
@@ -119,6 +124,7 @@ class TreecodeJob(Workload):
 
     name = "treecode"
     checkpointable = True
+    cacheable = True
 
     @property
     def units(self) -> int:          # type: ignore[override]
@@ -218,6 +224,7 @@ class NpbKernelJob(Workload):
     name = "npb"
     units = 1
     checkpointable = False
+    cacheable = True
 
     def __post_init__(self) -> None:
         if self.kernel.upper() not in ("EP", "IS"):
@@ -265,6 +272,7 @@ class MicrokernelSweep(Workload):
 
     name = "microkernel"
     checkpointable = True
+    cacheable = True
 
     @property
     def units(self) -> int:          # type: ignore[override]

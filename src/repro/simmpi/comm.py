@@ -76,11 +76,39 @@ class NodeFailureError(RuntimeError):
         self.detail = detail
 
 
+#: Memoized pickle sizes for repeated small non-array payload shapes
+#: (collective headers, coordination tuples).  Keys embed the *exact*
+#: class of every element — ``(0, 1)`` and ``(0.0, 1.0)`` compare equal
+#: as dict keys but pickle to different byte counts, and byte counts
+#: feed fabric timing, so the key must separate them.
+_NBYTES_CACHE: Dict[Any, int] = {}
+_NBYTES_CACHE_MAX = 4096
+_EXACT_SCALARS = (bool, int, float, str, bytes, type(None))
+
+
+def _nbytes_cache_key(obj: Any, depth: int = 0) -> Any:
+    """A hashable exact-type content key, or ``None`` when unsafe."""
+    cls = obj.__class__
+    if cls in _EXACT_SCALARS:
+        return (cls, obj)
+    if cls is tuple and depth < 2 and len(obj) <= 8:
+        parts = []
+        for item in obj:
+            part = _nbytes_cache_key(item, depth + 1)
+            if part is None:
+                return None
+            parts.append(part)
+        return (tuple, tuple(parts))
+    return None
+
+
 def payload_nbytes(obj: Any) -> int:
     """Wire size of a message payload.
 
     NumPy arrays go as raw buffers; everything else is costed at its
     pickle size plus a small header, mirroring mpi4py's two paths.
+    Small scalar/tuple payloads memoize their pickle size (hot
+    collectives repost identical headers thousands of times).
     """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes) + 16
@@ -90,12 +118,26 @@ def payload_nbytes(obj: Any) -> int:
         return 24
     if obj is None:
         return 8
-    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)) + 16
+    key = _nbytes_cache_key(obj)
+    if key is None:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)) + 16
+    nbytes = _NBYTES_CACHE.get(key)
+    if nbytes is None:
+        nbytes = len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)) + 16
+        if len(_NBYTES_CACHE) >= _NBYTES_CACHE_MAX:
+            _NBYTES_CACHE.clear()
+        _NBYTES_CACHE[key] = nbytes
+    return nbytes
 
 
 @dataclass
 class Message:
-    """An in-flight or delivered message."""
+    """An in-flight or delivered message.
+
+    ``consumed`` is the lazy-deletion flag of the indexed mailbox: one
+    message sits in several match-pattern deques, and marking it here
+    lets the other deques skip it when it reaches their front.
+    """
 
     src: int
     dst: int
@@ -104,6 +146,7 @@ class Message:
     nbytes: int
     post_time: float
     arrive_time: float
+    consumed: bool = False
 
 
 class RankComm:

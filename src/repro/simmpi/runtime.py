@@ -20,8 +20,9 @@ kernel's timeline when it records one.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.events import EventKernel, Process
 from repro.network.timing import Fabric, IdealFabric
@@ -35,6 +36,73 @@ from repro.simmpi.comm import (
     payload_nbytes,
 )
 from repro.simmpi.trace import CommStats
+
+
+class _Mailbox:
+    """One destination rank's undelivered messages, indexed for match.
+
+    The old mailbox was a flat list scanned linearly per receive; this
+    one keeps the same messages in four views keyed by the four match
+    patterns a receive can pose — exact ``(src, tag)``, src-only,
+    tag-only, and fully wild.  Every deque preserves posting order, so
+    "oldest matching message wins" (MPI's non-overtaking rule for a
+    fixed pattern) falls out of popping from the front.  A message
+    consumed through one view is lazily skipped by the others via its
+    ``consumed`` flag.
+    """
+
+    __slots__ = ("order", "by_exact", "by_src", "by_tag", "live")
+
+    def __init__(self) -> None:
+        self.order: Deque[Message] = deque()
+        self.by_exact: Dict[Tuple[int, int], Deque[Message]] = {}
+        self.by_src: Dict[int, Deque[Message]] = {}
+        self.by_tag: Dict[int, Deque[Message]] = {}
+        self.live = 0
+
+    def append(self, msg: Message) -> None:
+        self.order.append(msg)
+        key = (msg.src, msg.tag)
+        queue = self.by_exact.get(key)
+        if queue is None:
+            queue = self.by_exact[key] = deque()
+        queue.append(msg)
+        queue = self.by_src.get(msg.src)
+        if queue is None:
+            queue = self.by_src[msg.src] = deque()
+        queue.append(msg)
+        queue = self.by_tag.get(msg.tag)
+        if queue is None:
+            queue = self.by_tag[msg.tag] = deque()
+        queue.append(msg)
+        self.live += 1
+
+    def take(self, src: Optional[int], tag: Optional[int]
+             ) -> Optional[Message]:
+        """Pop the oldest live message matching the pattern, if any."""
+        if src is not ANY_SOURCE:
+            if tag is not None:
+                queue = self.by_exact.get((src, tag))
+            else:
+                queue = self.by_src.get(src)
+        elif tag is not None:
+            queue = self.by_tag.get(tag)
+        else:
+            queue = self.order
+        if queue is None:
+            return None
+        while queue:
+            msg = queue.popleft()
+            if msg.consumed:
+                continue
+            msg.consumed = True
+            self.live -= 1
+            return msg
+        return None
+
+    def live_messages(self) -> List[Message]:
+        """Undelivered messages in posting order (diagnostics)."""
+        return [m for m in self.order if not m.consumed]
 
 
 @dataclass
@@ -100,7 +168,7 @@ class SimMpiRuntime:
         attach = getattr(self.fabric, "attach_kernel", None)
         if attach is not None:
             attach(self.kernel)
-        self._mailboxes: Dict[int, List[Message]] = {}
+        self._mailboxes: Dict[int, _Mailbox] = {}
         self._consumed = 0
         self._posted = 0
         self._consumed0 = 0       # baselines at launch: per-world deltas
@@ -135,7 +203,10 @@ class SimMpiRuntime:
             post_time=transfer.post_time,
             arrive_time=transfer.arrive_time,
         )
-        self._mailboxes.setdefault(dst, []).append(msg)
+        box = self._mailboxes.get(dst)
+        if box is None:
+            box = self._mailboxes[dst] = _Mailbox()
+        box.append(msg)
         self._posted += 1
         self.kernel.trace(
             "send", time=msg.post_time, src=msg.src, dst=dst, tag=tag,
@@ -153,17 +224,12 @@ class SimMpiRuntime:
     def match(self, dst: int, src: Optional[int],
               tag: Optional[int]) -> Optional[Message]:
         box = self._mailboxes.get(dst)
-        if not box:
+        if box is None or not box.live:
             return None
-        for i, msg in enumerate(box):
-            if src is not ANY_SOURCE and msg.src != src:
-                continue
-            if tag is not None and msg.tag != tag:
-                continue
-            del box[i]
+        msg = box.take(src, tag)
+        if msg is not None:
             self._consumed += 1
-            return msg
-        return None
+        return msg
 
     def _send_overhead(self) -> float:
         nic = getattr(self.fabric, "nic", None)
@@ -358,7 +424,7 @@ class SimMpiRuntime:
                 posted=self._posted - self._posted0,
                 consumed=self._consumed - self._consumed0,
                 undelivered=sum(
-                    len(box) for box in self._mailboxes.values()
+                    box.live for box in self._mailboxes.values()
                 ),
                 failed=len(result.failed_ranks),
                 kills=len(self._failed),
@@ -422,9 +488,10 @@ class SimMpiRuntime:
             entry = self._waiters.get(rank)
             src, tag = (entry[0].src, entry[0].tag) if entry else (None, None)
             patterns[rank] = (src, tag)
+            box = self._mailboxes.get(rank)
             pending = [
                 (m.src, m.tag, m.nbytes)
-                for m in self._mailboxes.get(rank, [])
+                for m in (box.live_messages() if box is not None else ())
             ]
             mailboxes[rank] = pending
             src_txt = "ANY" if src is ANY_SOURCE else str(src)
