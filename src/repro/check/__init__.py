@@ -22,6 +22,10 @@ This package turns that convention into a checked property:
   behind ``python -m repro.cli check --cache-diff``: a scheduler
   configuration matrix run cache-on vs cache-off, requiring bit-exact
   outcome digests and identical trace hashes.
+- :mod:`repro.check.telemetrydiff` — the telemetry differential audit
+  behind ``python -m repro.cli check --telemetry-diff``: the fully
+  instrumented telemetry stack must be byte-indistinguishable from
+  the plain recording observer (outcome digests and trace hashes).
 - :mod:`repro.check.fuzz` — the differential fuzz driver behind
   ``python -m repro.cli check --fuzz``: randomized cases through three
   oracles (CMS translator vs golden interpreter, batched vs naive
@@ -64,6 +68,11 @@ from repro.check.fuzz import (
     run_fuzz,
     run_fuzz_case,
 )
+from repro.check.telemetrydiff import (
+    TelemetryDiffCase,
+    TelemetryDiffReport,
+    run_telemetry_differential,
+)
 
 __all__ = [
     "CacheDiffCase",
@@ -77,6 +86,8 @@ __all__ = [
     "ORACLES",
     "ReplayReport",
     "RunManifest",
+    "TelemetryDiffCase",
+    "TelemetryDiffReport",
     "TraceChecker",
     "TraceRecorder",
     "attach_auditors",
@@ -92,6 +103,7 @@ __all__ = [
     "replay_manifest",
     "run_cache_differential",
     "run_fuzz",
+    "run_telemetry_differential",
     "sched_outcome_digest",
     "run_fuzz_case",
     "verify_golden_manifest",

@@ -10,6 +10,10 @@ Modes (mutually exclusive):
                         scheduler configuration matrix cache-on vs
                         cache-off and require bit-identical outcome
                         digests and trace hashes
+- ``--telemetry-diff``  telemetry differential audit: the fully
+                        instrumented stack (spans + metrics +
+                        exporters) must be byte-indistinguishable
+                        from the plain recording observer
 
 Exit status is non-zero on any divergence or fuzz failure, and
 divergence reports are written under ``--out`` so CI can upload them
@@ -33,6 +37,9 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
     mode.add_argument("--cache-diff", action="store_true",
                       help="profile-cache differential audit "
                            "(cache-on vs cache-off, bit-exact)")
+    mode.add_argument("--telemetry-diff", action="store_true",
+                      help="telemetry differential audit "
+                           "(telemetry-on vs off, bit-exact)")
     parser.add_argument("--kind", default="sched",
                         choices=["sched", "simmpi", "table2", "fig3"],
                         help="what --record records (default: sched)")
@@ -88,7 +95,20 @@ def cmd_check(args) -> int:
         replay_manifest,
         run_cache_differential,
         run_fuzz,
+        run_telemetry_differential,
     )
+
+    if args.telemetry_diff:
+        report = run_telemetry_differential(
+            seed=args.seed, jobs=args.jobs, quick=args.quick,
+        )
+        print(report.format())
+        if not report.ok:
+            path = _write_report(args.out, "telemetry_diff_report.txt",
+                                 report.format())
+            print(f"telemetry differential report written to {path}")
+            return 1
+        return 0
 
     if args.cache_diff:
         report = run_cache_differential(

@@ -15,6 +15,8 @@ Usage::
     python -m repro.cli sched --jobs 200 --policy backfill --fail-inject
     python -m repro.cli sched --platform green-destiny-240 --jobs 100
     python -m repro.cli sched --thermal-fail --thermal-accel 50
+    python -m repro.cli sched --telemetry tel/   # spans + metrics export
+    python -m repro.cli stats tel/           # aggregate exported metrics
     python -m repro.cli thermal             # temperature/MTBF registry table
     python -m repro.cli platform             # the named platform registry
     python -m repro.cli platform --smoke     # build + audit every entry
@@ -28,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core import (
@@ -60,6 +63,7 @@ def _cmd_table2(args) -> None:
         n=args.particles, steps=1, cpu_counts=tuple(args.cpus),
         seed=args.seed, jobs=getattr(args, "pool_jobs", 1),
         platform=getattr(args, "platform", None),
+        telemetry=getattr(args, "telemetry", None),
     )
     print(result.text)
 
@@ -119,6 +123,7 @@ def _cmd_timeline(args) -> None:
         platform=getattr(args, "platform", None),
         thermal=getattr(args, "thermal", False),
         thermal_accel=getattr(args, "thermal_accel", 1.0),
+        telemetry=getattr(args, "telemetry", None),
     )
     print(result.text)
 
@@ -140,7 +145,7 @@ def _sched_block(params) -> str:
     """
     (jobs, policy, seed, interarrival, fail_inject, mtbf, checkpoint,
      max_retries, width, platform, thermal, thermal_accel, thermal_fail,
-     throttle) = params
+     throttle, telemetry) = params
     from repro.metrics.throughput import throughput_report
     from repro.platform.registry import platform_by_name
     from repro.sched import (
@@ -179,7 +184,20 @@ def _sched_block(params) -> str:
         sched.inject_thermal_failures(
             horizon_s=horizon, mtbf_s=mtbf, seed=seed + 2
         )
-    outcome = sched.run()
+    tel = None
+    if telemetry is not None:
+        from repro.telemetry import Telemetry
+        tel = Telemetry()
+        tel.attach(sched.kernel)
+        with tel.wall_span("sched.run", jobs=jobs, policy=policy,
+                           seed=seed):
+            outcome = sched.run()
+        tel.detach()
+        tel.ingest_sched(outcome, platform=spec)
+        tel.finish(sched.kernel.now)
+        tel.export(telemetry)
+    else:
+        outcome = sched.run()
     gantt = render_gantt(
         outcome.allocator.intervals, outcome.nodes,
         outcome.makespan_s, width=width,
@@ -191,6 +209,17 @@ def _cmd_sched(args) -> None:
     from repro.runner import parallel_map
 
     seeds = getattr(args, "seeds", None) or [args.seed]
+
+    def _tel_dir(seed: int):
+        # One subdirectory per seed on sweeps, so pooled workers never
+        # write over each other; a single-seed run exports flat.
+        base = getattr(args, "telemetry", None)
+        if base is None:
+            return None
+        if len(seeds) == 1:
+            return base
+        return str(Path(base) / f"seed-{seed}")
+
     blocks = parallel_map(
         _sched_block,
         [
@@ -201,7 +230,8 @@ def _cmd_sched(args) -> None:
              getattr(args, "thermal", False),
              getattr(args, "thermal_accel", 1.0),
              getattr(args, "thermal_fail", False),
-             not getattr(args, "no_throttle", False))
+             not getattr(args, "no_throttle", False),
+             _tel_dir(seed))
             for seed in seeds
         ],
         jobs=getattr(args, "pool_jobs", 1),
@@ -246,6 +276,17 @@ def _cmd_platform(args) -> int:
         print("platform smoke FAILED")
         return 1
     print(f"platform smoke: all {len(results)} platforms ok")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.telemetry import render_stats_table
+
+    try:
+        print(render_stats_table(args.dirs))
+    except FileNotFoundError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -328,6 +369,9 @@ def build_parser() -> argparse.ArgumentParser:
     p2.add_argument("--platform", default=None, choices=platforms,
                     help="registry platform to scale on "
                          "(default: metablade)")
+    p2.add_argument("--telemetry", default=None, metavar="DIR",
+                    help="export metrics.jsonl (+ wall-clock trace) "
+                         "of the sweep to this directory")
     p3 = sub.add_parser("table3", help="NPB single-CPU Mops")
     p3.add_argument("--npb-class", default="S", choices=["T", "S", "W"])
     sub.add_parser("table4", help="treecode history ladder")
@@ -368,6 +412,9 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--thermal-accel", type=float, default=1.0,
                     help="thermal time-constant compression factor "
                          "(default 1)")
+    pt.add_argument("--telemetry", default=None, metavar="DIR",
+                    help="export metrics.jsonl + Perfetto-loadable "
+                         "trace.json of the step to this directory")
     ps = sub.add_parser(
         "sched", help="serve a batch job stream on a registry platform"
     )
@@ -412,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
                     action="store_true",
                     help="disable the trip-point frequency clamp (hot "
                          "blades run to the overtemp kill point)")
+    ps.add_argument("--telemetry", default=None, metavar="DIR",
+                    help="export metrics.jsonl + Perfetto-loadable "
+                         "trace.json of the run to this directory "
+                         "(per-seed subdirs on --seeds sweeps)")
     pth = sub.add_parser(
         "thermal",
         help="temperature/MTBF report across the platform registry",
@@ -429,6 +480,13 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--out", default=None, metavar="DIR",
                     help="write per-platform failure reports here "
                          "(CI uploads them as artifacts)")
+    pst = sub.add_parser(
+        "stats",
+        help="aggregate telemetry metrics.jsonl exports into one table",
+    )
+    pst.add_argument("dirs", nargs="+", metavar="DIR",
+                     help="telemetry export directories (searched "
+                          "recursively for *.jsonl)")
     pc = sub.add_parser(
         "check",
         help="deterministic replay, invariant audit, differential fuzz",
@@ -457,6 +515,7 @@ _HANDLERS = {
     "sched": _cmd_sched,
     "thermal": _cmd_thermal,
     "platform": _cmd_platform,
+    "stats": _cmd_stats,
     "check": _cmd_check,
     "topper": _cmd_topper,
     "green500": _cmd_green500,

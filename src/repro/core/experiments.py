@@ -101,6 +101,7 @@ def experiment_table2(
     seed: int = 2001,
     jobs: int = 1,
     platform: Optional[str] = None,
+    telemetry: Optional[str] = None,
 ) -> ExperimentResult:
     """Table 2, on any registry platform (default: MetaBlade).
 
@@ -109,6 +110,10 @@ def experiment_table2(
     platform's node count cannot run there: they are dropped with an
     explicit :class:`UserWarning` and the drop is recorded in the
     result extras (``cpu_counts_dropped``) — never silently.
+
+    ``telemetry`` names a directory: the sweep self-profiles (wall
+    clock per scaling point) and exports every scaling number as
+    metrics there.  The rendered table is byte-identical either way.
     """
     import warnings
 
@@ -130,15 +135,37 @@ def experiment_table2(
             f"no CPU count in {tuple(cpu_counts)} fits {spec.name}'s "
             f"{spec.nodes} nodes"
         )
-    points = scaling_study(
-        config, counts, spec.node_flop_rate(),
-        ideal_network=ideal_network, jobs=jobs, platform=spec.name,
-    )
+    tel = None
+    if telemetry is not None:
+        from repro.telemetry import Telemetry
+        tel = Telemetry()
+    if tel is not None:
+        with tel.wall_span("table2.scaling_study", cpus=list(counts)):
+            points = scaling_study(
+                config, counts, spec.node_flop_rate(),
+                ideal_network=ideal_network, jobs=jobs, platform=spec.name,
+            )
+    else:
+        points = scaling_study(
+            config, counts, spec.node_flop_rate(),
+            ideal_network=ideal_network, jobs=jobs, platform=spec.name,
+        )
     rows = [
         [p.cpus, round(p.time_s, 3), round(p.speedup, 2),
          round(p.efficiency, 2), round(p.comm_fraction, 2)]
         for p in points
     ]
+    if tel is not None:
+        for p in points:
+            reg = tel.registry
+            reg.gauge("table2.time_s", cpus=p.cpus).set(p.time_s)
+            reg.gauge("table2.speedup", cpus=p.cpus).set(p.speedup)
+            reg.gauge("table2.efficiency", cpus=p.cpus).set(p.efficiency)
+            reg.gauge("table2.comm_fraction", cpus=p.cpus).set(
+                p.comm_fraction
+            )
+        tel.ingest_extras("table2", {"n_particles": float(n)})
+        tel.export(telemetry)
     return _result(
         "table2",
         ["# CPUs", "Time (sec)", "Speed-Up", "Efficiency", "Comm frac"],
@@ -361,6 +388,7 @@ def experiment_timeline(
     platform: Optional[str] = None,
     thermal: bool = False,
     thermal_accel: float = 1.0,
+    telemetry: Optional[str] = None,
 ) -> ExperimentResult:
     """One treecode step with the event kernel recording.
 
@@ -378,6 +406,12 @@ def experiment_timeline(
     lands on the timeline as a ``thermal-trip`` event), and the peak
     blade temperature joins the extras.  ``thermal_accel`` compresses
     the thermal time constants so a short step shows the effect.
+
+    ``telemetry`` names a directory: a :class:`~repro.telemetry.Telemetry`
+    handle observes the same kernel and exports virtual-time spans
+    (Perfetto-loadable ``trace.json``) plus a ``metrics.jsonl`` there.
+    The kernel already records its timeline, so attaching the observer
+    changes nothing — the rendered text is byte-identical either way.
     """
     from collections import Counter
 
@@ -392,6 +426,11 @@ def experiment_timeline(
             f"{ranks} ranks exceed {spec.name}'s {spec.nodes} nodes"
         )
     kernel = EventKernel(record_timeline=True)
+    tel = None
+    if telemetry is not None:
+        from repro.telemetry import Telemetry
+        tel = Telemetry()
+        tel.attach(kernel)
     network = None
     governor = None
     tspec = None
@@ -434,9 +473,15 @@ def experiment_timeline(
     if fail_rank is not None:
         runtime.fail_at(fail_at_s, fail_rank, detail="injected")
     config = SimConfig(n=n, steps=1, seed=seed, theta=0.7, softening=1e-2)
-    run = run_parallel_nbody(
-        config, ranks, spec.node_flop_rate(), runtime=runtime
-    )
+    if tel is not None:
+        with tel.wall_span("timeline.step", ranks=ranks, n=n):
+            run = run_parallel_nbody(
+                config, ranks, spec.node_flop_rate(), runtime=runtime
+            )
+    else:
+        run = run_parallel_nbody(
+            config, ranks, spec.node_flop_rate(), runtime=runtime
+        )
     events = kernel.sorted_timeline()
     counts = Counter(e.kind for e in events)
     rows = [[kind, count] for kind, count in sorted(counts.items())]
@@ -467,6 +512,18 @@ def experiment_timeline(
             f"{'tripped' if tripped else 'no trip'}), "
             f"{extras['heat_j']:.1f} J rejected"
         )
+    if tel is not None:
+        tel.detach()
+        tel.ingest_run(run, world=f"timeline-{ranks}r")
+        from repro.network.timing import publish_fabric_metrics
+        publish_fabric_metrics(
+            tel.registry, runtime.fabric, fabric_name=spec.fabric.kind
+        )
+        if network is not None:
+            network.publish_metrics(tel.registry)
+        tel.ingest_extras("timeline", extras)
+        tel.finish(kernel.now)
+        tel.export(telemetry)
     return ExperimentResult(
         experiment="timeline",
         headers=["Event kind", "Count"],

@@ -92,6 +92,22 @@ class TraversalStats:
         self.tree_rebuilds += other.tree_rebuilds
         self.tree_reuses += other.tree_reuses
 
+    def publish_metrics(self, registry) -> None:
+        """Fold this evaluation's work counters into a telemetry Registry."""
+        registry.counter("nbody.particle_cell").inc(self.particle_cell)
+        registry.counter("nbody.particle_particle").inc(
+            self.particle_particle
+        )
+        registry.counter("nbody.groups").inc(self.groups)
+        registry.counter("nbody.nodes_opened").inc(self.nodes_opened)
+        registry.counter("nbody.tree_rebuilds").inc(self.tree_rebuilds)
+        registry.counter("nbody.tree_reuses").inc(self.tree_reuses)
+        registry.counter("nbody.flops").inc(self.flops)
+        for lo, hi, interactions in self.group_work:
+            registry.histogram("nbody.group_interactions").observe(
+                interactions
+            )
+
 
 def _group_geometry(tree: HashedOctree,
                     leaf: TreeNode) -> Tuple[np.ndarray, float]:

@@ -60,6 +60,26 @@ class IdealFabric:
         self.transfers.clear()
 
 
+def publish_fabric_metrics(registry, fabric,
+                           fabric_name: str = "fabric") -> None:
+    """Fold any fabric's transfer log into a telemetry Registry.
+
+    Works on every :class:`Fabric` implementation (they all keep a
+    ``transfers`` list): message count, byte volume, and the in-flight
+    latency distribution (arrive − post), labeled with the fabric name
+    so multi-fabric runs stay distinguishable after aggregation.
+    """
+    transfers = getattr(fabric, "transfers", ())
+    registry.counter("fabric.transfers", fabric=fabric_name).inc(
+        len(transfers)
+    )
+    for t in transfers:
+        registry.counter("fabric.bytes", fabric=fabric_name).inc(t.nbytes)
+        registry.histogram(
+            "fabric.latency_s", fabric=fabric_name
+        ).observe(t.arrive_time - t.post_time)
+
+
 def star_fabric(nodes: int) -> StarTopology:
     """The MetaBlade fabric sized for *nodes* blades.
 

@@ -168,3 +168,15 @@ class BladeAllocator:
 
     def down_node_seconds(self) -> float:
         return self._down_s
+
+    def publish_metrics(self, registry) -> None:
+        """Fold the interval ledger into a telemetry Registry."""
+        registry.counter("allocator.busy_node_s").inc(self._busy_s)
+        registry.counter("allocator.down_node_s").inc(self._down_s)
+        for interval in self.intervals:
+            registry.counter(
+                "allocator.intervals", kind=interval.kind
+            ).inc()
+            registry.histogram(
+                "allocator.interval_s", kind=interval.kind
+            ).observe(interval.end_s - interval.start_s)

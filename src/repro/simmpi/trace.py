@@ -51,6 +51,24 @@ class CommStats:
             flops=self.flops + other.flops,
         )
 
+    def publish_metrics(self, registry) -> None:
+        """Fold this rank's ledger into a telemetry Registry.
+
+        Counters are unlabeled totals (they aggregate across ranks and
+        worlds); the per-rank shape lands in histograms so imbalance
+        stays visible after aggregation.
+        """
+        registry.counter("comm.sends").inc(self.sends)
+        registry.counter("comm.recvs").inc(self.recvs)
+        registry.counter("comm.bytes_sent").inc(self.bytes_sent)
+        registry.counter("comm.bytes_received").inc(self.bytes_received)
+        registry.counter("comm.compute_s").inc(self.compute_s)
+        registry.counter("comm.io_s").inc(self.io_s)
+        registry.counter("comm.energy_j").inc(self.energy_j)
+        registry.counter("comm.flops").inc(self.flops)
+        registry.histogram("comm.rank_compute_s").observe(self.compute_s)
+        registry.histogram("comm.rank_messages").observe(self.messages)
+
 
 def filter_timeline(events: Iterable[TimelineEvent],
                     kinds: Optional[Sequence[str]] = None,

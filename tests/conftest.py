@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+import random
+
+import numpy as np
 import pytest
 
 from repro.isa import programs
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rngs():
+    """Pin every module-global RNG before each test.
+
+    Any test that consumes `random` or the legacy `np.random` state
+    without seeding would otherwise depend on which tests ran before
+    it — the suite must produce identical results under any ordering
+    (`pytest -p no:cacheprovider` twice, shuffled selections, -x
+    reruns).  Tests that care about specific streams still construct
+    their own `random.Random(seed)` / `np.random.default_rng(seed)`.
+    """
+    random.seed(0xC0FFEE)
+    np.random.seed(20020817)
+    yield
 
 
 @pytest.fixture(scope="session")
