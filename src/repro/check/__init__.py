@@ -14,7 +14,8 @@ This package turns that convention into a checked property:
   (the mismatching event, the clock, the pending queue, rank clocks).
 - :mod:`repro.check.auditors` — invariant auditors registered on the
   kernel (virtual-clock monotonicity, same-timestamp insertion order,
-  message conservation per world) plus outcome-level audits (flop vs
+  message conservation per world, retransmit-ledger conservation under
+  the network fault layer) plus outcome-level audits (flop vs
   compute-time ledger, energy vs PowerModel, allocator busy/down
   interval consistency).  Opt in via ``SchedConfig(audit=True)`` or
   ``SimConfig(audit=True)``.
@@ -37,6 +38,7 @@ from repro.check.auditors import (
     ClockOrderAuditor,
     InvariantViolation,
     MessageConservationAuditor,
+    RetransmitConservationAuditor,
     attach_auditors,
     audit_sched_outcome,
     audit_sim_result,
@@ -85,6 +87,7 @@ __all__ = [
     "MessageConservationAuditor",
     "ORACLES",
     "ReplayReport",
+    "RetransmitConservationAuditor",
     "RunManifest",
     "TelemetryDiffCase",
     "TelemetryDiffReport",

@@ -99,19 +99,22 @@ class MessageConservationAuditor(KernelAuditor):
     """Every send is matched by a delivery or a recorded death.
 
     Watches the trace stream: ``send`` / ``recv`` events per
-    ``(src, dst, tag)`` triple, and each world's closing ``world-done``
-    conservation record (posted == consumed + undelivered, with
-    undelivered only legal when the world saw failures or kills).
-    :meth:`finish` settles the global books: total sends minus total
-    receives must equal the undelivered messages of worlds that
-    recorded deaths.
+    ``(src, dst, tag)`` triple, ``drop`` events (a post discarded at an
+    already-dead destination), and each world's closing ``world-done``
+    conservation record (posted == consumed + undelivered + dropped,
+    with the latter three only legal when the world saw failures or
+    kills).  :meth:`finish` settles the global books: total sends minus
+    total receives must equal the undelivered plus dropped messages of
+    worlds that recorded deaths.
     """
 
     def __init__(self) -> None:
         self.sends: Dict[Tuple[int, int, int], int] = defaultdict(int)
         self.recvs: Dict[Tuple[int, int, int], int] = defaultdict(int)
+        self.drops: Dict[Tuple[int, int, int], int] = defaultdict(int)
         self.worlds = 0
         self.undelivered_total = 0
+        self.dropped_total = 0
 
     def attach(self, kernel: EventKernel) -> "MessageConservationAuditor":
         kernel.add_observer(self._on_trace)
@@ -133,33 +136,118 @@ class MessageConservationAuditor(KernelAuditor):
                     f" tag={key[2]}) received {self.recvs[key]} times but"
                     f" only sent {self.sends[key]}"
                 )
+        elif event.kind == "drop":
+            key = (event.get("src"), event.get("dst"), event.get("tag"))
+            self.drops[key] += 1
+            if self.drops[key] + self.recvs[key] > self.sends[key]:
+                raise InvariantViolation(
+                    f"message over-drop: (src={key[0]}, dst={key[1]},"
+                    f" tag={key[2]}) dropped {self.drops[key]} + received"
+                    f" {self.recvs[key]} times but only sent "
+                    f"{self.sends[key]}"
+                )
         elif event.kind == "world-done":
             self.worlds += 1
             posted = event.get("posted", 0)
             consumed = event.get("consumed", 0)
             undelivered = event.get("undelivered", 0)
+            dropped = event.get("dropped", 0)
             deaths = event.get("failed", 0) + event.get("kills", 0)
-            if posted != consumed + undelivered:
+            if posted != consumed + undelivered + dropped:
                 raise InvariantViolation(
                     f"world message books do not balance at "
                     f"t={event.time!r}: posted {posted} != consumed "
-                    f"{consumed} + undelivered {undelivered}"
+                    f"{consumed} + undelivered {undelivered} + dropped "
+                    f"{dropped}"
                 )
-            if undelivered and not deaths:
+            if (undelivered or dropped) and not deaths:
                 raise InvariantViolation(
-                    f"world finished with {undelivered} undelivered "
-                    "message(s) but recorded no failure or kill"
+                    f"world finished with {undelivered} undelivered and "
+                    f"{dropped} dropped message(s) but recorded no "
+                    "failure or kill"
                 )
             self.undelivered_total += undelivered
+            self.dropped_total += dropped
 
     def finish(self) -> None:
         total_sent = sum(self.sends.values())
         total_recv = sum(self.recvs.values())
-        if total_sent - total_recv != self.undelivered_total:
+        accounted = self.undelivered_total + self.dropped_total
+        if total_sent - total_recv != accounted:
             raise InvariantViolation(
                 f"message conservation broken: {total_sent} sends, "
                 f"{total_recv} receives, but worlds account for "
-                f"{self.undelivered_total} undelivered message(s)"
+                f"{self.undelivered_total} undelivered and "
+                f"{self.dropped_total} dropped message(s)"
+            )
+
+
+class RetransmitConservationAuditor(KernelAuditor):
+    """Every send settles as one delivery or an exhausted retry ledger.
+
+    Under the reliable-delivery layer each logical message carries a
+    kernel-unique ``mid``: lost frames trace ``net-drop`` (opening or
+    extending that mid's retry ledger), and the ledger must close with
+    exactly one terminal event — a ``send`` (the retransmission got
+    through) or a ``net-giveup`` whose ``attempts`` field equals the
+    losses recorded.  The retry loop is synchronous inside ``post()``,
+    so no ledger may remain open at :meth:`finish`; one left dangling
+    means a frame was lost and neither retried nor abandoned.  Inert on
+    fault-free runs (no ``mid``-bearing events ever fire).
+    """
+
+    def __init__(self) -> None:
+        self.retransmits = 0
+        self.delivered = 0
+        self.gaveup = 0
+        self._open: Dict[int, int] = {}   # mid -> lost frames so far
+
+    def attach(self, kernel: EventKernel) -> "RetransmitConservationAuditor":
+        kernel.add_observer(self._on_trace)
+        return self
+
+    def detach(self, kernel: EventKernel) -> None:
+        kernel.remove_observer(self._on_trace)
+
+    def _on_trace(self, event: TimelineEvent) -> None:
+        kind = event.kind
+        if kind == "net-drop":
+            mid = event.get("mid")
+            lost = self._open.get(mid, 0)
+            if event.get("attempt") != lost:
+                raise InvariantViolation(
+                    f"retry ledger for mid {mid} out of order at "
+                    f"t={event.time!r}: net-drop says attempt "
+                    f"{event.get('attempt')}, ledger saw {lost} loss(es)"
+                )
+            self._open[mid] = lost + 1
+            self.retransmits += 1
+        elif kind == "send":
+            mid = event.get("mid")
+            if mid is None:
+                return
+            # Delivery closes the ledger (losses, if any, were retried
+            # through to success).
+            self._open.pop(mid, None)
+            self.delivered += 1
+        elif kind == "net-giveup":
+            mid = event.get("mid")
+            lost = self._open.pop(mid, 0)
+            if event.get("attempts") != lost:
+                raise InvariantViolation(
+                    f"retry ledger for mid {mid} does not balance at "
+                    f"giveup: {lost} frame loss(es) traced but the "
+                    f"sender reports {event.get('attempts')} attempts"
+                )
+            self.gaveup += 1
+
+    def finish(self) -> None:
+        if self._open:
+            sample = sorted(self._open)[:5]
+            raise InvariantViolation(
+                f"{len(self._open)} retry ledger(s) left open (lost "
+                f"frames neither delivered nor abandoned): mids "
+                f"{sample}"
             )
 
 
@@ -169,6 +257,7 @@ def attach_auditors(kernel: EventKernel,
     """Attach the standard auditor set (or *auditors*) to *kernel*."""
     chosen = list(auditors) if auditors is not None else [
         ClockOrderAuditor(), MessageConservationAuditor(),
+        RetransmitConservationAuditor(),
     ]
     for auditor in chosen:
         auditor.attach(kernel)

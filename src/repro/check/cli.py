@@ -76,6 +76,15 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-throttle", action="store_true",
                         help="sched recording: disable the trip-point "
                              "frequency clamp (run to the kill point)")
+    parser.add_argument("--net-fault", action="store_true",
+                        help="sched recording: inject seeded link/uplink "
+                             "outages with SimMPI retransmission")
+    parser.add_argument("--net-mtbf", type=float, default=2.0,
+                        help="sched recording: per-link outage MTBF in "
+                             "virtual seconds (default 2.0)")
+    parser.add_argument("--net-mttr", type=float, default=0.002,
+                        help="sched recording: mean outage repair time "
+                             "in virtual seconds (default 0.002)")
 
 
 def _write_report(out_dir: str, name: str, text: str) -> Path:
@@ -149,6 +158,9 @@ def cmd_check(args) -> int:
                 thermal_accel=args.thermal_accel,
                 thermal_fail=args.thermal_fail,
                 throttle=not args.no_throttle,
+                net_fault=args.net_fault,
+                net_mtbf=args.net_mtbf,
+                net_mttr=args.net_mttr,
             )
         elif args.kind == "simmpi":
             manifest = record_simmpi_manifest(seed=args.seed)

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.events import EventKernel, TimelineEvent
 from repro.check.manifest import RunManifest, TraceRecorder, normalize_event
+from repro.network.faults import DEFAULT_NET_MTBF_S, DEFAULT_NET_MTTR_S
 
 
 @dataclass
@@ -184,6 +185,15 @@ SCHED_DEFAULTS: Dict[str, Any] = {
     # tracing attaches an observer, which itself forces the cache to
     # bypass, so traces are cache-agnostic either way.
     "profile_cache": True,
+    # Network fault injection (repro.network.faults).  ``net_fault``
+    # turns the link/uplink outage process and the reliable-delivery
+    # layer on; MTBF/MTTR are in virtual stream seconds.  Recorded in
+    # the manifest so a fault-injected run replays bit-exactly; the
+    # plan seed is derived as ``seed + 3`` (poisson failures use
+    # ``seed + 1``, thermal ``seed + 2``).
+    "net_fault": False,
+    "net_mtbf": DEFAULT_NET_MTBF_S,
+    "net_mttr": DEFAULT_NET_MTTR_S,
 }
 
 
@@ -207,6 +217,7 @@ def _build_sched(params: Dict[str, Any], audit: bool = False):
     before the platform layer existed carry no ``platform`` key and
     mean the MetaBlade default.
     """
+    from repro.network.faults import NetFaultConfig
     from repro.platform.registry import platform_by_name
     from repro.sched import (
         BatchScheduler, SchedConfig, policy_by_name, synthetic_stream,
@@ -220,6 +231,20 @@ def _build_sched(params: Dict[str, Any], audit: bool = False):
         seed=params["seed"],
         mean_interarrival_s=params["interarrival"],
     )
+    horizon = (
+        specs[-1].arrival_s + params["jobs"] * params["interarrival"]
+    )
+    net_fault = None
+    if params.get("net_fault", False):
+        # Manifests recorded before the fault layer carry no net keys
+        # and mean "off"; the plan seed follows the injector convention
+        # (poisson seed+1, thermal seed+2, net seed+3).
+        net_fault = NetFaultConfig(
+            mtbf_s=params.get("net_mtbf", DEFAULT_NET_MTBF_S),
+            mttr_s=params.get("net_mttr", DEFAULT_NET_MTTR_S),
+            seed=params["seed"] + 3,
+            horizon_s=horizon,
+        )
     checkpoint = params["checkpoint"]
     config = SchedConfig(
         checkpoint_every=checkpoint if checkpoint > 0 else None,
@@ -236,11 +261,9 @@ def _build_sched(params: Dict[str, Any], audit: bool = False):
         platform=spec,
         policy=policy_by_name(params["policy"]),
         config=config,
+        net_fault=net_fault,
     )
     sched.submit_stream(specs)
-    horizon = (
-        specs[-1].arrival_s + params["jobs"] * params["interarrival"]
-    )
     if params["fail_inject"]:
         sched.inject_poisson_failures(
             horizon_s=horizon, mtbf_s=params["mtbf"],

@@ -15,6 +15,7 @@ Usage::
     python -m repro.cli sched --jobs 200 --policy backfill --fail-inject
     python -m repro.cli sched --platform green-destiny-240 --jobs 100
     python -m repro.cli sched --thermal-fail --thermal-accel 50
+    python -m repro.cli sched --net-fault --net-mtbf 0.5   # link outages
     python -m repro.cli sched --telemetry tel/   # spans + metrics export
     python -m repro.cli stats tel/           # aggregate exported metrics
     python -m repro.cli thermal             # temperature/MTBF registry table
@@ -124,6 +125,9 @@ def _cmd_timeline(args) -> None:
         thermal=getattr(args, "thermal", False),
         thermal_accel=getattr(args, "thermal_accel", 1.0),
         telemetry=getattr(args, "telemetry", None),
+        net_fault=getattr(args, "net_fault", False),
+        net_mtbf_s=getattr(args, "net_mtbf", 0.05),
+        net_mttr_s=getattr(args, "net_mttr", 0.002),
     )
     print(result.text)
 
@@ -145,8 +149,9 @@ def _sched_block(params) -> str:
     """
     (jobs, policy, seed, interarrival, fail_inject, mtbf, checkpoint,
      max_retries, width, platform, thermal, thermal_accel, thermal_fail,
-     throttle, telemetry) = params
+     throttle, telemetry, net_fault, net_mtbf, net_mttr) = params
     from repro.metrics.throughput import throughput_report
+    from repro.network.faults import NetFaultConfig
     from repro.platform.registry import platform_by_name
     from repro.sched import (
         BatchScheduler,
@@ -171,11 +176,20 @@ def _sched_block(params) -> str:
         thermal_accel=thermal_accel,
         throttle=throttle,
     )
+    horizon = specs[-1].arrival_s + jobs * interarrival
+    net = None
+    if net_fault:
+        # Seed convention: poisson failures use seed+1, thermal seed+2,
+        # the network fault plan seed+3.
+        net = NetFaultConfig(
+            mtbf_s=net_mtbf, mttr_s=net_mttr,
+            seed=seed + 3, horizon_s=horizon,
+        )
     sched = BatchScheduler(
-        platform=spec, policy=policy_by_name(policy), config=config
+        platform=spec, policy=policy_by_name(policy), config=config,
+        net_fault=net,
     )
     sched.submit_stream(specs)
-    horizon = specs[-1].arrival_s + jobs * interarrival
     if fail_inject:
         sched.inject_poisson_failures(
             horizon_s=horizon, mtbf_s=mtbf, seed=seed + 1
@@ -202,10 +216,19 @@ def _sched_block(params) -> str:
         outcome.allocator.intervals, outcome.nodes,
         outcome.makespan_s, width=width,
     )
-    return f"{gantt}\n\n{throughput_report(outcome, platform=spec).format()}"
+    text = f"{gantt}\n\n{throughput_report(outcome, platform=spec).format()}"
+    if outcome.net is not None:
+        n = outcome.net
+        text += (
+            f"\nnetwork faults: {n.windows} outage window(s), "
+            f"{n.partitions} partition(s), {n.retransmits} "
+            f"retransmit(s), {n.drops} drop(s), {n.reroutes} reroute(s)"
+        )
+    return text
 
 
 def _cmd_sched(args) -> None:
+    from repro.network.faults import DEFAULT_NET_MTBF_S, DEFAULT_NET_MTTR_S
     from repro.runner import parallel_map
 
     seeds = getattr(args, "seeds", None) or [args.seed]
@@ -231,7 +254,10 @@ def _cmd_sched(args) -> None:
              getattr(args, "thermal_accel", 1.0),
              getattr(args, "thermal_fail", False),
              not getattr(args, "no_throttle", False),
-             _tel_dir(seed))
+             _tel_dir(seed),
+             getattr(args, "net_fault", False),
+             getattr(args, "net_mtbf", DEFAULT_NET_MTBF_S),
+             getattr(args, "net_mttr", DEFAULT_NET_MTTR_S))
             for seed in seeds
         ],
         jobs=getattr(args, "pool_jobs", 1),
@@ -412,6 +438,19 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--thermal-accel", type=float, default=1.0,
                     help="thermal time-constant compression factor "
                          "(default 1)")
+    pt.add_argument("--net-fault", dest="net_fault", action="store_true",
+                    help="inject a seeded link outage into the step; "
+                         "the delivery layer's retransmits land on the "
+                         "timeline")
+    pt.add_argument("--net-mtbf", dest="net_mtbf", type=float,
+                    default=0.05, metavar="S",
+                    help="per-link mean time between outages for "
+                         "--net-fault, virtual seconds (default 0.05 — "
+                         "a single step is short)")
+    pt.add_argument("--net-mttr", dest="net_mttr", type=float,
+                    default=0.002, metavar="S",
+                    help="mean outage repair time, virtual seconds "
+                         "(default 0.002)")
     pt.add_argument("--telemetry", default=None, metavar="DIR",
                     help="export metrics.jsonl + Perfetto-loadable "
                          "trace.json of the step to this directory")
@@ -459,6 +498,19 @@ def build_parser() -> argparse.ArgumentParser:
                     action="store_true",
                     help="disable the trip-point frequency clamp (hot "
                          "blades run to the overtemp kill point)")
+    ps.add_argument("--net-fault", dest="net_fault", action="store_true",
+                    help="inject seeded link/uplink outages; SimMPI "
+                         "retransmits with timeout/backoff, long node "
+                         "outages partition the blade (plan seed is "
+                         "--seed + 3)")
+    ps.add_argument("--net-mtbf", dest="net_mtbf", type=float,
+                    default=2.0, metavar="S",
+                    help="per-link mean time between outages, virtual "
+                         "seconds (default 2.0)")
+    ps.add_argument("--net-mttr", dest="net_mttr", type=float,
+                    default=0.002, metavar="S",
+                    help="mean outage repair time, virtual seconds "
+                         "(default 0.002)")
     ps.add_argument("--telemetry", default=None, metavar="DIR",
                     help="export metrics.jsonl + Perfetto-loadable "
                          "trace.json of the run to this directory "

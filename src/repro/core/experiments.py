@@ -389,6 +389,9 @@ def experiment_timeline(
     thermal: bool = False,
     thermal_accel: float = 1.0,
     telemetry: Optional[str] = None,
+    net_fault: bool = False,
+    net_mtbf_s: float = 0.05,
+    net_mttr_s: float = 0.002,
 ) -> ExperimentResult:
     """One treecode step with the event kernel recording.
 
@@ -406,6 +409,12 @@ def experiment_timeline(
     lands on the timeline as a ``thermal-trip`` event), and the peak
     blade temperature joins the extras.  ``thermal_accel`` compresses
     the thermal time constants so a short step shows the effect.
+
+    ``net_fault`` injects a seeded link-outage plan (seed + 3, MTBF
+    ``net_mtbf_s``, repair ``net_mttr_s`` — virtual seconds) and turns
+    on the SimMPI reliable-delivery layer: lost frames retransmit with
+    timeout/backoff and land on the timeline as ``net-drop`` events,
+    outage windows overlapping the step as ``net-down``/``net-up``.
 
     ``telemetry`` names a directory: a :class:`~repro.telemetry.Telemetry`
     handle observes the same kernel and exports virtual-time spans
@@ -465,10 +474,30 @@ def experiment_timeline(
                 )
 
             kernel.at(plan.trip_at_s, _trip)
+    fabric = spec.build_fabric(ranks)
+    net_plan = None
+    policy = None
+    if net_fault:
+        from repro.network.faults import (
+            RetryPolicy, draw_fault_plan, link_resource,
+        )
+
+        resources = [link_resource(r) for r in range(ranks)]
+        # The step's length is not known up front; a 1 s horizon covers
+        # any single treecode step, and windows past the end are inert
+        # lookups.  Plan seed follows the injector convention (+3).
+        net_plan = draw_fault_plan(
+            resources, horizon_s=1.0, mtbf_s=net_mtbf_s,
+            mttr_s=net_mttr_s, seed=seed + 3,
+        )
+        attach = getattr(fabric, "attach_faults", None)
+        if attach is not None:
+            attach(net_plan, resources=resources)
+        policy = RetryPolicy()
     runtime = SimMpiRuntime(
-        ranks, fabric=spec.build_fabric(ranks),
+        ranks, fabric=fabric,
         flop_rate=spec.node_flop_rate(), kernel=kernel,
-        governor=governor,
+        governor=governor, net_fault=policy,
     )
     if fail_rank is not None:
         runtime.fail_at(fail_at_s, fail_rank, detail="injected")
@@ -482,6 +511,20 @@ def experiment_timeline(
         run = run_parallel_nbody(
             config, ranks, spec.node_flop_rate(), runtime=runtime
         )
+    if net_plan is not None:
+        # Trace the outage windows the step actually lived through —
+        # emitted after the run (the timeline is sorted for rendering)
+        # so windows past the end don't clutter the view.
+        end = max(run.elapsed_s, kernel.now)
+        for window in net_plan.windows():
+            if window.start_s <= end:
+                kernel.trace(
+                    "net-down", time=window.start_s,
+                    resource=window.resource, until=window.end_s,
+                )
+                kernel.trace(
+                    "net-up", time=window.end_s, resource=window.resource,
+                )
     events = kernel.sorted_timeline()
     counts = Counter(e.kind for e in events)
     rows = [[kind, count] for kind, count in sorted(counts.items())]
@@ -497,6 +540,13 @@ def experiment_timeline(
         "elapsed_s": run.elapsed_s,
         "failed_ranks": float(len(run.failed_ranks)),
     }
+    if net_fault:
+        retransmits = sum(s.retransmits for s in run.stats)
+        extras["net_retransmits"] = float(retransmits)
+        text += (
+            f"\n\nnetwork faults: {len(net_plan)} outage window(s) "
+            f"planned, {retransmits} frame(s) retransmitted"
+        )
     if thermal:
         end = max(run.elapsed_s, kernel.now)
         network.finish(end)

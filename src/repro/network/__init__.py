@@ -17,18 +17,38 @@ from repro.network.nic import Nic, FAST_ETHERNET_NIC
 from repro.network.switch import Switch, FAST_ETHERNET_SWITCH_24
 from repro.network.topology import StarTopology, Transfer
 from repro.network.timing import IdealFabric, Fabric
+from repro.network.faults import (
+    DEFAULT_NET_MTBF_S,
+    DEFAULT_NET_MTTR_S,
+    FaultTimeline,
+    FaultWindow,
+    NetFaultConfig,
+    RetryPolicy,
+    chassis_resource,
+    draw_fault_plan,
+    link_resource,
+)
 
 __all__ = [
+    "DEFAULT_NET_MTBF_S",
+    "DEFAULT_NET_MTTR_S",
     "FAST_ETHERNET",
     "FAST_ETHERNET_NIC",
     "FAST_ETHERNET_SWITCH_24",
     "Fabric",
+    "FaultTimeline",
+    "FaultWindow",
     "GIGABIT_ETHERNET",
     "IdealFabric",
     "Link",
     "LinkSchedule",
+    "NetFaultConfig",
     "Nic",
+    "RetryPolicy",
     "StarTopology",
     "Switch",
     "Transfer",
+    "chassis_resource",
+    "draw_fault_plan",
+    "link_resource",
 ]

@@ -47,9 +47,19 @@ class Calendar:
     push the resource's availability forward for a message posted
     earlier in virtual time.  A calendar books each transfer into the
     earliest idle gap at-or-after its ready time instead.
+
+    Pruning keeps the interval list bounded, but a pruned interval must
+    never be double-booked by a late-arriving early-``ready`` request:
+    the calendar remembers the end of the newest pruned interval as a
+    *floor* and clamps every subsequent ``ready`` to it.  Because the
+    intervals are non-overlapping and sorted, every retained interval
+    starts at-or-after the floor, so clamped bookings see exactly the
+    timeline an unpruned calendar would (whenever ``ready`` is at-or-
+    after the floor, the clamp is a no-op and the answers are
+    identical).
     """
 
-    __slots__ = ("starts", "ends", "busy_s", "transfers")
+    __slots__ = ("starts", "ends", "busy_s", "transfers", "_floor")
 
     _PRUNE_AT = 1024
 
@@ -58,11 +68,19 @@ class Calendar:
         self.ends: list = []
         self.busy_s = 0.0
         self.transfers = 0
+        self._floor = 0.0
+
+    @property
+    def pruned_floor(self) -> float:
+        """Earliest time a booking may start (end of pruned history)."""
+        return self._floor
 
     def book(self, ready: float, duration: float) -> float:
         """Reserve *duration* at the earliest start >= ready."""
         from bisect import bisect_right
 
+        if ready < self._floor:
+            ready = self._floor
         starts, ends = self.starts, self.ends
         i = bisect_right(starts, ready)
         s = ready
@@ -76,6 +94,10 @@ class Calendar:
         ends.insert(i, s + duration)
         if len(starts) > self._PRUNE_AT:
             keep = self._PRUNE_AT // 2
+            # Non-overlapping sorted intervals: ends is sorted too, so
+            # the end of the last dropped interval bounds every dropped
+            # busy period from above.
+            self._floor = max(self._floor, ends[-keep - 1])
             del starts[:-keep]
             del ends[:-keep]
         self.busy_s += duration
@@ -87,6 +109,7 @@ class Calendar:
         self.ends.clear()
         self.busy_s = 0.0
         self.transfers = 0
+        self._floor = 0.0
 
 
 class LinkSchedule:

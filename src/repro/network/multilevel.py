@@ -122,10 +122,52 @@ class RackTopology:
         self._agg = BackplaneSchedule(agg)
         self.transfers: List[Transfer] = []
         self._kernel: Optional[EventKernel] = None
+        self._faults = None
+        self._fault_resources: List[str] = []
+        # Backup chassis uplinks (lazily built): each RLX chassis also
+        # carries the blades' management Fast Ethernet interfaces (the
+        # blades have three 100 Mb/s ports; only one is the compute
+        # fabric).  When a chassis uplink faults, traffic detours over
+        # that surviving path at Fast Ethernet rates.
+        self._backup_up: dict = {}
+        self._backup_down: dict = {}
+        self.reroutes = 0
 
     def attach_kernel(self, kernel: EventKernel) -> None:
         """Post uplink/aggregation occupancy onto *kernel*'s timeline."""
         self._kernel = kernel
+
+    def attach_faults(self, timeline,
+                      resources: Optional[List[str]] = None) -> None:
+        """Resolve frame fate against a ``FaultTimeline``.
+
+        ``resources[i]`` names endpoint *i*'s fault domain; defaults to
+        ``link<i>``.  Chassis uplink domains are derived from
+        :meth:`chassis_of`, so a scheduler-built fabric (with a real
+        ``chassis_map``) consults cluster-level chassis keys.  Node
+        link faults lose frames (the SimMPI layer retries); chassis
+        uplink faults *reroute* over the backup Fast Ethernet path at
+        degraded bandwidth instead — the rack's graceful-degradation
+        story.
+        """
+        from repro.network.faults import link_resource
+        if resources is not None and len(resources) != self.nodes:
+            raise ValueError(
+                f"{len(resources)} fault resources for {self.nodes} nodes"
+            )
+        self._faults = timeline
+        self._fault_resources = (
+            list(resources) if resources is not None
+            else [link_resource(n) for n in range(self.nodes)]
+        )
+
+    def _backup(self, table: dict, chassis: int) -> LinkSchedule:
+        sched = table.get(chassis)
+        if sched is None:
+            from repro.network.link import FAST_ETHERNET
+            sched = LinkSchedule(FAST_ETHERNET)
+            table[chassis] = sched
+        return sched
 
     def chassis_of(self, node: int) -> int:
         if self._chassis_map is not None:
@@ -134,10 +176,13 @@ class RackTopology:
 
     def reset(self) -> None:
         for sched in (*self._up, *self._down,
-                      *self._chassis_up, *self._chassis_down):
+                      *self._chassis_up, *self._chassis_down,
+                      *self._backup_up.values(),
+                      *self._backup_down.values()):
             sched.reset()
         self._agg.reset()
         self.transfers.clear()
+        self.reroutes = 0
 
     def send(self, src: int, dst: int, nbytes: int,
              post_time: float) -> Transfer:
@@ -153,27 +198,62 @@ class RackTopology:
             return t
         # post_time is the NIC-accept instant: the wire is ready then.
         depart, t_cursor = self._up[src].occupy(post_time, nbytes)
+        up_done = t_cursor
         src_ch = self.chassis_of(src)
         dst_ch = self.chassis_of(dst)
+        faults = self._faults
+        rerouted = False
         if src_ch != dst_ch:
             # Chassis switch forwards up, aggregation forwards across,
-            # destination chassis switch forwards down.
+            # destination chassis switch forwards down.  A faulted
+            # chassis uplink/downlink detours over the management Fast
+            # Ethernet path instead of losing the frame.
+            from repro.network.faults import chassis_resource
             t_cursor += self.config.forward_latency_s
-            _, t_cursor = self._chassis_up[src_ch].occupy(t_cursor, nbytes)
+            if faults is not None and faults.down_at(
+                    chassis_resource(src_ch), t_cursor):
+                rerouted = True
+                _, t_cursor = self._backup(
+                    self._backup_up, src_ch).occupy(t_cursor, nbytes)
+            else:
+                _, t_cursor = self._chassis_up[src_ch].occupy(
+                    t_cursor, nbytes
+                )
             if self._kernel is not None:
                 self._kernel.trace(
                     "chassis-uplink", time=t_cursor, src=src, dst=dst,
                     nbytes=nbytes, resource=f"chassis{src_ch}-up",
                 )
             t_cursor = self._agg.occupy(t_cursor, nbytes)
-            _, t_cursor = self._chassis_down[dst_ch].occupy(
-                t_cursor, nbytes
-            )
+            if faults is not None and faults.down_at(
+                    chassis_resource(dst_ch), t_cursor):
+                rerouted = True
+                _, t_cursor = self._backup(
+                    self._backup_down, dst_ch).occupy(t_cursor, nbytes)
+            else:
+                _, t_cursor = self._chassis_down[dst_ch].occupy(
+                    t_cursor, nbytes
+                )
         else:
             t_cursor += self.config.forward_latency_s
-        _, t_cursor = self._down[dst].occupy(t_cursor, nbytes)
+        down_depart, t_cursor = self._down[dst].occupy(t_cursor, nbytes)
         arrive = t_cursor + nic.recv_overhead_s
-        t = Transfer(src, dst, nbytes, post_time, depart, arrive)
+        lost = False
+        if faults is not None:
+            res = self._fault_resources
+            lost = (
+                faults.down_during(res[src], depart, up_done)
+                or faults.down_during(res[dst], down_depart, t_cursor)
+            )
+        if rerouted:
+            self.reroutes += 1
+            if self._kernel is not None:
+                self._kernel.trace(
+                    "net-reroute", time=arrive, src=src, dst=dst,
+                    nbytes=nbytes, resource=f"chassis{src_ch}-backup",
+                )
+        t = Transfer(src, dst, nbytes, post_time, depart, arrive,
+                     lost=lost, rerouted=rerouted)
         self.transfers.append(t)
         if self._kernel is not None:
             self._kernel.trace(

@@ -45,6 +45,9 @@ class IdealFabric:
     def attach_kernel(self, kernel: EventKernel) -> None:
         self._kernel = kernel
 
+    def attach_faults(self, timeline, resources=None) -> None:
+        """No wires, nothing to fault: accepted and ignored."""
+
     def send(self, src: int, dst: int, nbytes: int,
              post_time: float) -> Transfer:
         t = Transfer(src, dst, nbytes, post_time, post_time, post_time)

@@ -29,6 +29,13 @@ class Transfer:
     post_time: float      # when the sender's NIC accepted the message
     depart_time: float    # when the wire accepted it
     arrive_time: float    # when the payload is available at dst
+    #: The frame crossed a faulted resource and was discarded — it
+    #: occupied the wire (the bits were clocked out before the loss was
+    #: known) but never reaches dst.  Delivery/retry policy lives in
+    #: the SimMPI layer, not here.
+    lost: bool = False
+    #: The frame detoured over a backup path (rack fabrics only).
+    rerouted: bool = False
 
 
 class StarTopology:
@@ -67,10 +74,35 @@ class StarTopology:
         self._backplane = BackplaneSchedule(switch)
         self.transfers: List[Transfer] = []
         self._kernel: Optional[EventKernel] = None
+        self._faults = None
+        self._fault_resources: List[str] = []
 
     def attach_kernel(self, kernel: EventKernel) -> None:
         """Post link/switch occupancy onto *kernel*'s timeline."""
         self._kernel = kernel
+
+    def attach_faults(self, timeline,
+                      resources: Optional[List[str]] = None) -> None:
+        """Resolve frame fate against a ``FaultTimeline``.
+
+        ``resources[i]`` names endpoint *i*'s fault domain (NIC link +
+        switch port); defaults to ``link<i>``.  The scheduler passes
+        the cluster-blade names so a per-job fabric consults the same
+        timeline the whole cluster draws from.  Fault windows decide
+        frame *fate* only — calendar contention is unchanged, because a
+        frame clocked into a dead port still occupied the sender's
+        wire.
+        """
+        from repro.network.faults import link_resource
+        if resources is not None and len(resources) != self.nodes:
+            raise ValueError(
+                f"{len(resources)} fault resources for {self.nodes} nodes"
+            )
+        self._faults = timeline
+        self._fault_resources = (
+            list(resources) if resources is not None
+            else [link_resource(n) for n in range(self.nodes)]
+        )
 
     def reset(self) -> None:
         for sched in self._up.values():
@@ -101,9 +133,20 @@ class StarTopology:
             return t
         depart, up_done = self._up[src].occupy(post_time, nbytes)
         fwd_done = self._backplane.occupy(up_done, nbytes)
-        _, down_done = self._down[dst].occupy(fwd_done, nbytes)
+        down_depart, down_done = self._down[dst].occupy(fwd_done, nbytes)
         arrive = down_done + self.nic.recv_overhead_s
-        t = Transfer(src, dst, nbytes, post_time, depart, arrive)
+        lost = False
+        if self._faults is not None:
+            res = self._fault_resources
+            # The frame dies if either endpoint's link/port is down
+            # while the frame traverses it.
+            lost = (
+                self._faults.down_during(res[src], depart, up_done)
+                or self._faults.down_during(res[dst], down_depart,
+                                            down_done)
+            )
+        t = Transfer(src, dst, nbytes, post_time, depart, arrive,
+                     lost=lost)
         self.transfers.append(t)
         if self._kernel is not None:
             self._kernel.trace(

@@ -38,7 +38,12 @@ from repro.sched.profile_cache import (
     ProfileCache,
     job_profile_key,
 )
-from repro.sched.scheduler import BatchScheduler, SchedConfig, SchedOutcome
+from repro.sched.scheduler import (
+    BatchScheduler,
+    NetFaultSummary,
+    SchedConfig,
+    SchedOutcome,
+)
 from repro.sched.workloads import (
     MicrokernelSweep,
     NpbKernelJob,
@@ -57,6 +62,7 @@ __all__ = [
     "JobSpec",
     "JobState",
     "MicrokernelSweep",
+    "NetFaultSummary",
     "ProfileCache",
     "NpbKernelJob",
     "SchedConfig",

@@ -41,6 +41,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.management import EventKind, ManagementEvent, ManagementHub
 from repro.core.events import EventKernel
 from repro.core.system import BladedBeowulf
+from repro.network.faults import (
+    FaultTimeline,
+    FaultWindow,
+    NetFaultConfig,
+    chassis_resource,
+    link_resource,
+)
 from repro.sched.allocator import BladeAllocator
 from repro.sched.job import Attempt, JobRecord, JobSpec, JobState
 from repro.sched.policy import Policy, QueuedJob, RunningJob
@@ -145,6 +152,17 @@ class ThermalSummary:
     faults: int = 0              #: temperature-modulated faults accepted
 
 
+@dataclass(frozen=True)
+class NetFaultSummary:
+    """The network-fault side of one run, for the metrics layer."""
+
+    windows: int                 #: outage windows drawn on the timeline
+    partitions: int              #: long outages that killed/requeued jobs
+    retransmits: int             #: frames lost and retried (or abandoned)
+    drops: int                   #: posts discarded at dead destinations
+    reroutes: int                #: frames detoured over backup uplinks
+
+
 @dataclass
 class SchedOutcome:
     """What one scheduling run produced, ready for the metrics layer."""
@@ -158,6 +176,9 @@ class SchedOutcome:
     makespan_s: float
     failures_injected: int = 0
     thermal: Optional[ThermalSummary] = None
+    #: Fault-campaign accounting; ``None`` when no ``net_fault`` config
+    #: was given (the default), so legacy outcomes are unchanged.
+    net: Optional[NetFaultSummary] = None
     #: Profile-cache accounting: dispatches served from cache, measured
     #: normalized runs, and attempts routed down the legacy path.
     cache_hits: int = 0
@@ -222,7 +243,8 @@ class BatchScheduler:
                  config: Optional[SchedConfig] = None,
                  kernel: Optional[EventKernel] = None,
                  record_timeline: bool = False,
-                 platform=None) -> None:
+                 platform=None,
+                 net_fault: Optional[NetFaultConfig] = None) -> None:
         from repro.sched.policy import Fcfs
 
         if platform is not None and machine is not None:
@@ -280,6 +302,39 @@ class BatchScheduler:
                 nodes_per_chassis=platform.fabric.nodes_per_chassis,
                 keep_ledger=self.config.audit,
             )
+        #: Network fault campaign: ``None`` (default) leaves the fabric
+        #: perfectly reliable and every legacy run byte-identical.
+        #: With a config, the outage plan is materialised here — before
+        #: any rank clock can run ahead of the kernel — and each window
+        #: gets boundary events for tracing, partition kills and blade
+        #: repair.  Per-job fabrics and runtimes pick the timeline and
+        #: retry policy up at dispatch (:meth:`_start`).
+        self.net_fault = net_fault
+        self._net_timeline: Optional[FaultTimeline] = None
+        self._net_blades: Dict[str, int] = {}
+        self._net_partitions = 0
+        self._net_retransmits = 0
+        self._net_drops = 0
+        self._net_reroutes = 0
+        if net_fault is not None:
+            self._net_blades = {
+                link_resource(b): b for b in range(self.nodes)
+            }
+            resources = list(self._net_blades)
+            if platform.fabric.kind == "rack":
+                per = platform.fabric.nodes_per_chassis
+                chassis = (self.nodes + per - 1) // per
+                resources += [
+                    chassis_resource(c) for c in range(chassis)
+                ]
+            self._net_timeline = net_fault.build_timeline(resources)
+            for window in self._net_timeline.windows():
+                self.kernel.at(
+                    window.start_s, self._net_window_start, window
+                )
+                self.kernel.at(
+                    window.end_s, self._net_window_end, window
+                )
 
     # -- submission ---------------------------------------------------------
 
@@ -406,6 +461,15 @@ class BatchScheduler:
                 ),
                 faults=injector.accepted if injector is not None else 0,
             )
+        net_summary = None
+        if self.net_fault is not None:
+            net_summary = NetFaultSummary(
+                windows=len(self._net_timeline),
+                partitions=self._net_partitions,
+                retransmits=self._net_retransmits,
+                drops=self._net_drops,
+                reroutes=self._net_reroutes,
+            )
         outcome = SchedOutcome(
             policy=self.policy.name,
             nodes=self.nodes,
@@ -416,6 +480,7 @@ class BatchScheduler:
             makespan_s=makespan,
             failures_injected=self.failures_injected,
             thermal=thermal_summary,
+            net=net_summary,
             cache_hits=self.profile_cache.hits,
             cache_misses=self.profile_cache.misses,
             cache_bypasses=self.profile_cache.bypasses,
@@ -504,6 +569,8 @@ class BatchScheduler:
             return False                 # auditors / thermal throttling
         if self.failures_injected or self._thermal_injector is not None:
             return False                 # mid-run kills possible
+        if self.net_fault is not None:
+            return False                 # fault timeline perturbs worlds
         kernel = self.kernel
         if kernel.record_timeline or kernel._observers or kernel._fire_hooks:
             return False                 # tracing or kernel auditors
@@ -676,12 +743,26 @@ class BatchScheduler:
         # The job's world runs on the platform's declared fabric, its
         # endpoints placed into the chassis of the blades it was
         # actually allocated (matters on multi-level rack fabrics).
+        fabric = self.platform.build_fabric(spec.nodes, blades=blades)
+        if self._net_timeline is not None:
+            # Endpoint i of this job is cluster blade blades[i]: frame
+            # fate resolves against the cluster-level fault timeline.
+            attach = getattr(fabric, "attach_faults", None)
+            if attach is not None:
+                attach(
+                    self._net_timeline,
+                    resources=[link_resource(b) for b in blades],
+                )
         runtime = SimMpiRuntime(
             spec.nodes,
-            fabric=self.platform.build_fabric(spec.nodes, blades=blades),
+            fabric=fabric,
             flop_rate=self.flop_rate,
             kernel=self.kernel,
             governor=governor,
+            net_fault=(
+                self.net_fault.policy if self.net_fault is not None
+                else None
+            ),
         )
         running = _RunningJob(
             record=record, runtime=runtime, blades=blades, attempt=attempt
@@ -736,6 +817,25 @@ class BatchScheduler:
         self.allocator.release(spec.job_id, now)
         running.attempt.end_s = now
         duration = now - running.attempt.start_s
+        if self.net_fault is not None:
+            self._net_retransmits += sum(
+                s.retransmits for s in result.stats
+            )
+            self._net_drops += sum(s.drops for s in result.stats)
+            if running.runtime is not None:
+                self._net_reroutes += getattr(
+                    running.runtime.fabric, "reroutes", 0
+                )
+            if running.killed_at is None and result.failed_ranks:
+                # A rank died of retry exhaustion (LinkDownError)
+                # without any node-failure kill: the partition tore the
+                # world down from inside.  Settle it exactly like a
+                # kill so the job requeues (or abandons).
+                running.killed_at = now
+                running.killed_by_blade = running.blades[
+                    result.failed_ranks[0]
+                ]
+                record.failures += 1
         if self.thermal is not None:
             self._end_attempt_thermal(running, now)
         else:
@@ -825,6 +925,74 @@ class BatchScheduler:
         self.allocator.mark_up(blade, self.kernel.now)
         self.kernel.trace("node-up", node=blade)
         self._dispatch()
+
+    # -- network fault windows ----------------------------------------------
+
+    def _net_window_start(self, window: FaultWindow) -> None:
+        """An outage opens: trace it; long node-link outages partition.
+
+        A window shorter than the retry policy's ride-through horizon
+        is survivable by retransmission alone, so resident jobs keep
+        running.  A longer one is a partition: the blade is effectively
+        unreachable for the whole outage, so the resident job is killed
+        and requeued exactly like a node-failure kill, and the blade
+        leaves the free pool until the link repairs.  Chassis-uplink
+        windows never kill — the rack fabric reroutes over the backup
+        path at degraded bandwidth.
+        """
+        now = self.kernel.now
+        self.kernel.trace(
+            "net-down", resource=window.resource, until=window.end_s
+        )
+        blade = self._net_blades.get(window.resource)
+        if blade is None:
+            return
+        if window.duration_s <= self.net_fault.policy.ride_through_s:
+            return
+        self._net_partitions += 1
+        detail = "link partition"
+        time_h = now / 3600.0
+        self.hub.record(
+            ManagementEvent(time_h, EventKind.FAILURE, blade, detail)
+        )
+        self.hub.record(
+            ManagementEvent(
+                time_h + self.hub.detection_latency_h,
+                EventKind.DETECTED, blade, detail,
+            )
+        )
+        job_id = self.allocator.job_on(blade)
+        self.allocator.mark_down(blade, now, detail)
+        if job_id is None:
+            return
+        running = self._running.get(job_id)
+        if running is None or running.killed_at is not None:
+            return
+        if running.runtime is None:
+            # Unreachable by construction: a net_fault config disables
+            # fast-path eligibility for every dispatch.
+            raise RuntimeError(
+                f"net fault hit fast-path job {job_id}; "
+                "profile-cache eligibility is stale"
+            )
+        victim_rank = running.blades.index(blade)
+        killed = running.runtime.kill_all(victim_rank, now, detail=detail)
+        if killed == 0:
+            # The world already finalized; the job beat the outage.
+            return
+        running.killed_at = now
+        running.killed_by_blade = blade
+        running.record.failures += 1
+
+    def _net_window_end(self, window: FaultWindow) -> None:
+        """The outage repairs: partitioned blades rejoin the pool."""
+        now = self.kernel.now
+        self.kernel.trace("net-up", resource=window.resource)
+        blade = self._net_blades.get(window.resource)
+        if (blade is not None
+                and window.duration_s > self.net_fault.policy.ride_through_s):
+            self.allocator.mark_up(blade, now)
+            self._dispatch()
 
     # -- thermal events -----------------------------------------------------
 

@@ -34,6 +34,7 @@ Run with::
 from repro.simmpi.comm import (
     ANY_SOURCE,
     DeadlockError,
+    LinkDownError,
     Message,
     NodeFailureError,
     RankComm,
@@ -46,6 +47,7 @@ __all__ = [
     "ANY_SOURCE",
     "CommStats",
     "DeadlockError",
+    "LinkDownError",
     "Message",
     "NodeFailureError",
     "RankComm",

@@ -76,6 +76,33 @@ class NodeFailureError(RuntimeError):
         self.detail = detail
 
 
+class LinkDownError(NodeFailureError):
+    """The reliable-delivery layer exhausted its retry budget.
+
+    Raised into the *sender* after ``max_retries`` retransmissions all
+    crossed a faulted link: from the sender's point of view the
+    destination is unreachable — a network partition, not a node death,
+    but handled by the same machinery (catch to degrade; uncaught, the
+    sending rank is marked failed and its waiters are released).
+    """
+
+    def __init__(self, src: int, dst: int, time_s: float,
+                 attempts: int, detail: str = "") -> None:
+        text = (
+            f"rank {src} -> {dst}: link down after {attempts} "
+            f"attempts at t={time_s:.6f}s"
+        )
+        if detail:
+            text += f" ({detail})"
+        super().__init__(src, time_s, detail=detail)
+        # NodeFailureError.__init__ wrote its own message; ours is
+        # more specific.
+        self.args = (text,)
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+
+
 #: Memoized pickle sizes for repeated small non-array payload shapes
 #: (collective headers, coordination tuples).  Keys embed the *exact*
 #: class of every element — ``(0, 1)`` and ``(0.0, 1.0)`` compare equal
@@ -227,6 +254,22 @@ class RankComm:
                     src, self._runtime.failure_time(src),
                     detail=f"rank {self.rank} awaited tag {tag}",
                 )
+            if src is ANY_SOURCE and self.size > 1:
+                # Wildcard receive: once every peer that could still
+                # send has failed (and the mailbox held no match —
+                # checked above), nothing can ever arrive.  Raise like
+                # a named-source receive would instead of hanging
+                # until the deadlock detector fires.
+                peers = [r for r in range(self.size) if r != self.rank]
+                if all(self._runtime.rank_failed(r) for r in peers):
+                    last = max(peers, key=self._runtime.failure_time)
+                    raise NodeFailureError(
+                        last, self._runtime.failure_time(last),
+                        detail=(
+                            f"rank {self.rank} awaited ANY_SOURCE "
+                            f"tag {tag}; all peers failed"
+                        ),
+                    )
             yield RecvBlock(self.rank, src, tag)
 
     def sendrecv(self, dst: int, obj: Any, src: Optional[int] = ANY_SOURCE,

@@ -25,10 +25,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.events import EventKernel, Process
+from repro.network.faults import next_message_id
 from repro.network.timing import Fabric, IdealFabric
 from repro.simmpi.comm import (
     ANY_SOURCE,
     DeadlockError,
+    LinkDownError,
     Message,
     NodeFailureError,
     RankComm,
@@ -155,7 +157,8 @@ class SimMpiRuntime:
     def __init__(self, size: int, fabric: Optional[Fabric] = None,
                  flop_rate: Optional[float] = None,
                  kernel: Optional[EventKernel] = None,
-                 governor: Optional[Any] = None) -> None:
+                 governor: Optional[Any] = None,
+                 net_fault: Optional[Any] = None) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
         self.size = size
@@ -165,6 +168,13 @@ class SimMpiRuntime:
         self.flop_rate = flop_rate
         self.kernel = kernel if kernel is not None else EventKernel()
         self.governor = governor
+        #: A :class:`~repro.network.faults.RetryPolicy` enables the
+        #: reliable-delivery layer: lost frames (fabric faults) are
+        #: retransmitted on an exponential-backoff timeout ladder, and
+        #: an exhausted budget raises :class:`LinkDownError` into the
+        #: sender.  ``None`` (default) keeps the legacy direct path —
+        #: every byte of fault-free behaviour unchanged.
+        self.net_fault = net_fault
         attach = getattr(self.fabric, "attach_kernel", None)
         if attach is not None:
             attach(self.kernel)
@@ -173,6 +183,8 @@ class SimMpiRuntime:
         self._posted = 0
         self._consumed0 = 0       # baselines at launch: per-world deltas
         self._posted0 = 0         # feed the world-done conservation trace
+        self._dropped = 0         # posts to already-dead destinations
+        self._dropped0 = 0
         self._waiters: Dict[int, Tuple[RecvBlock, Process]] = {}
         self._failed: Dict[int, Tuple[float, str]] = {}
         self._tasks: Optional[List[Process]] = None
@@ -191,7 +203,11 @@ class SimMpiRuntime:
         # the host stack has run, so the fabric's post_time is the
         # post-overhead clock — not the instant the program called send.
         comm.clock += self._send_overhead()
-        transfer = self.fabric.send(comm.rank, dst, nbytes, comm.clock)
+        if self.net_fault is None:
+            transfer = self.fabric.send(comm.rank, dst, nbytes, comm.clock)
+            mid = None
+        else:
+            transfer, mid = self._reliable_send(comm, dst, tag, nbytes)
         comm.stats.sends += 1
         comm.stats.bytes_sent += nbytes
         msg = Message(
@@ -203,15 +219,38 @@ class SimMpiRuntime:
             post_time=transfer.post_time,
             arrive_time=transfer.arrive_time,
         )
+        self._posted += 1
+        if mid is None:
+            self.kernel.trace(
+                "send", time=msg.post_time, src=msg.src, dst=dst, tag=tag,
+                nbytes=nbytes, arrive=msg.arrive_time,
+            )
+        else:
+            # Under the reliable-delivery layer the logical-message id
+            # ties this delivery to its retry ledger (net-drop events).
+            self.kernel.trace(
+                "send", time=msg.post_time, src=msg.src, dst=dst, tag=tag,
+                nbytes=nbytes, arrive=msg.arrive_time, mid=mid,
+            )
+        tasks = self._tasks
+        if (dst in self._failed and tasks is not None
+                and not tasks[dst].alive):
+            # The destination's node is already dead: the frame left
+            # the sender's NIC but nobody will ever drain it.  Account
+            # for it explicitly instead of buffering it forever (the
+            # conservation auditor balances drops separately from
+            # undelivered mail).
+            self._dropped += 1
+            comm.stats.drops += 1
+            self.kernel.trace(
+                "drop", time=msg.arrive_time, src=msg.src, dst=dst,
+                tag=tag, nbytes=nbytes,
+            )
+            return
         box = self._mailboxes.get(dst)
         if box is None:
             box = self._mailboxes[dst] = _Mailbox()
         box.append(msg)
-        self._posted += 1
-        self.kernel.trace(
-            "send", time=msg.post_time, src=msg.src, dst=dst, tag=tag,
-            nbytes=nbytes, arrive=msg.arrive_time,
-        )
         waiter = self._waiters.get(dst)
         if waiter is not None and waiter[0].matches(msg):
             del self._waiters[dst]
@@ -220,6 +259,46 @@ class SimMpiRuntime:
                 tag=msg.tag,
             )
             waiter[1].wake(time=msg.arrive_time)
+
+    def _reliable_send(self, comm: RankComm, dst: int, tag: int,
+                       nbytes: int) -> Tuple[Any, int]:
+        """Transmit with ack/timeout/backoff against a faulted fabric.
+
+        Each attempt books the wire for real (a frame clocked into a
+        dead port still occupied the sender's link); a lost frame waits
+        out the policy's timeout ladder and retransmits.  Exhausting
+        the budget raises :class:`LinkDownError` into the sender.
+        Returns the delivered transfer plus the logical-message id the
+        retry ledger is keyed on.
+        """
+        policy = self.net_fault
+        mid = next_message_id(self.kernel)
+        attempt = 0
+        while True:
+            transfer = self.fabric.send(comm.rank, dst, nbytes, comm.clock)
+            if not transfer.lost:
+                return transfer, mid
+            comm.stats.retransmits += 1
+            self.kernel.trace(
+                "net-drop", time=transfer.depart_time, src=comm.rank,
+                dst=dst, tag=tag, nbytes=nbytes, mid=mid, attempt=attempt,
+            )
+            give_time = max(comm.clock, transfer.depart_time)
+            if attempt >= policy.max_retries:
+                self.kernel.trace(
+                    "net-giveup", time=give_time, src=comm.rank, dst=dst,
+                    tag=tag, mid=mid, attempts=attempt + 1,
+                )
+                comm.clock = give_time
+                raise LinkDownError(
+                    comm.rank, dst, give_time, attempt + 1,
+                    detail=f"tag {tag}",
+                )
+            # Ack timeout: the sender learns of the loss only after the
+            # RTO expires, then re-runs its host send stack.
+            comm.clock = give_time + policy.timeout_s(attempt)
+            comm.clock += self._send_overhead()
+            attempt += 1
 
     def match(self, dst: int, src: Optional[int],
               tag: Optional[int]) -> Optional[Message]:
@@ -274,6 +353,25 @@ class SimMpiRuntime:
             if block.src == rank:
                 del self._waiters[dst]
                 proc.wake()
+        self._release_wildcard_waiters()
+
+    def _release_wildcard_waiters(self) -> None:
+        """Wake ANY_SOURCE waiters whose last live peer just died.
+
+        A wildcard receive re-runs its match on wake: pending mail is
+        drained first, and only an empty mailbox with every peer failed
+        raises — so waking here is what lets ``recv(ANY_SOURCE)``
+        detect total peer failure instead of hanging for the deadlock
+        detector.
+        """
+        if self.size <= 1:
+            return
+        for dst, (block, proc) in list(self._waiters.items()):
+            if block.src is ANY_SOURCE and all(
+                    r in self._failed
+                    for r in range(self.size) if r != dst):
+                del self._waiters[dst]
+                proc.wake()
 
     # -- the scheduler ------------------------------------------------------
 
@@ -301,6 +399,7 @@ class SimMpiRuntime:
         self._mailboxes.clear()
         self._posted0 = self._posted
         self._consumed0 = self._consumed
+        self._dropped0 = self._dropped
         t0 = self.kernel.now if start_time is None else start_time
         comms = [
             RankComm(r, self.size, self, clock=t0) for r in range(self.size)
@@ -417,8 +516,13 @@ class SimMpiRuntime:
         )
         if self.kernel.tracing:
             # The conservation record repro.check audits: every posted
-            # message was consumed or is still sitting undelivered —
-            # and undelivered is only legal when the world saw deaths.
+            # message was consumed, is still sitting undelivered, or
+            # was dropped at a dead destination — and the latter two
+            # are only legal when the world saw deaths.  ``dropped``
+            # joins the record only when nonzero so fault-free traces
+            # stay byte-identical.
+            dropped = self._dropped - self._dropped0
+            extra = {"dropped": dropped} if dropped else {}
             self.kernel.trace(
                 "world-done",
                 posted=self._posted - self._posted0,
@@ -429,6 +533,7 @@ class SimMpiRuntime:
                 failed=len(result.failed_ranks),
                 kills=len(self._failed),
                 ranks=self.size,
+                **extra,
             )
         callback, self._on_complete = self._on_complete, None
         if callback is not None:
@@ -474,6 +579,7 @@ class SimMpiRuntime:
                 if block.src == rank:
                     del self._waiters[dst]
                     proc.wake()
+            self._release_wildcard_waiters()
             self._rank_done()
             return True
         return on_error

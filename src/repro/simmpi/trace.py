@@ -32,6 +32,9 @@ class CommStats:
     flops: float = 0.0        # work billed through compute_flops — the
                               # other side of the compute_s ledger that
                               # repro.check audits against the flop rate
+    retransmits: int = 0      # frames lost to link faults (each one was
+                              # retried or abandoned by the delivery layer)
+    drops: int = 0            # posts discarded at an already-dead dst
 
     @property
     def messages(self) -> int:
@@ -49,6 +52,8 @@ class CommStats:
             io_s=self.io_s + other.io_s,
             energy_j=self.energy_j + other.energy_j,
             flops=self.flops + other.flops,
+            retransmits=self.retransmits + other.retransmits,
+            drops=self.drops + other.drops,
         )
 
     def publish_metrics(self, registry) -> None:
@@ -66,6 +71,12 @@ class CommStats:
         registry.counter("comm.io_s").inc(self.io_s)
         registry.counter("comm.energy_j").inc(self.energy_j)
         registry.counter("comm.flops").inc(self.flops)
+        # The net.* family exists only when the fault layer fired, so
+        # fault-free telemetry exports stay byte-identical.
+        if self.retransmits:
+            registry.counter("net.retransmits").inc(self.retransmits)
+        if self.drops:
+            registry.counter("net.drops").inc(self.drops)
         registry.histogram("comm.rank_compute_s").observe(self.compute_s)
         registry.histogram("comm.rank_messages").observe(self.messages)
 

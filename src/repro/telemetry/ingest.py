@@ -33,7 +33,7 @@ def ingest_run_result(registry: Registry, result: Any,
 
 def ingest_sched_outcome(registry: Registry, outcome: Any,
                          platform: Optional[Any] = None) -> None:
-    """A :class:`SchedOutcome`: job ledgers, allocator, cache, thermal."""
+    """A :class:`SchedOutcome`: job/allocator/cache/thermal/net ledgers."""
     registry.gauge("sched.makespan_s").set(outcome.makespan_s)
     registry.gauge("sched.nodes").set(outcome.nodes)
     registry.counter("sched.failures_injected").inc(
@@ -72,6 +72,15 @@ def ingest_sched_outcome(registry: Registry, outcome: Any,
             thermal.fault_candidates
         )
         registry.counter("thermal.faults").inc(thermal.faults)
+    if outcome.net is not None:
+        # The net.* family exists only on fault campaigns, keeping
+        # fault-free exports byte-identical.
+        net = outcome.net
+        registry.counter("net.fault_windows").inc(net.windows)
+        registry.counter("net.partitions").inc(net.partitions)
+        registry.counter("net.retransmits.total").inc(net.retransmits)
+        registry.counter("net.drops.total").inc(net.drops)
+        registry.counter("net.reroutes.total").inc(net.reroutes)
     if platform is not None:
         registry.gauge("platform.nodes", name=platform.name).set(
             platform.nodes

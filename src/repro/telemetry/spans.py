@@ -297,7 +297,8 @@ class SpanRecorder:
 
     def _on_world_done(self, e: TimelineEvent) -> None:
         self.registry.counter("simmpi.worlds").inc()
-        for key in ("posted", "consumed", "undelivered", "failed"):
+        for key in ("posted", "consumed", "undelivered", "failed",
+                    "dropped"):
             value = e.get(key)
             if value:
                 self.registry.counter(f"simmpi.{key}").inc(value)
@@ -319,6 +320,30 @@ class SpanRecorder:
             self.registry.counter(
                 "network.bytes", resource=str(resource)
             ).inc(nbytes)
+
+    #: Trace kind -> the net.* counter family it feeds.  All of these
+    #: exist only when the fault layer fired, so fault-free exports
+    #: stay byte-identical.
+    _NET_COUNTERS = {
+        "net-down": "net.outages",
+        "net-drop": "net.retransmits",
+        "net-giveup": "net.giveups",
+        "net-reroute": "net.reroutes",
+        "drop": "net.drops",
+    }
+
+    def _on_net(self, e: TimelineEvent) -> None:
+        track = e.get("resource")
+        if track is None:
+            # Delivery-layer events carry endpoints, not a resource.
+            track = f"link{e.get('dst')}"
+        self.instants.append(Instant(
+            name=e.kind, cat="network", pid="fabric",
+            track=str(track), time=e.time, args=e.as_dict(),
+        ))
+        counter = self._NET_COUNTERS.get(e.kind)
+        if counter is not None:
+            self.registry.counter(counter).inc()
 
     def _on_failure(self, e: TimelineEvent) -> None:
         self.instants.append(Instant(
@@ -380,6 +405,12 @@ _HANDLERS = {
     "link-down": SpanRecorder._on_link,
     "switch": SpanRecorder._on_link,
     "link": SpanRecorder._on_link,
+    "net-down": SpanRecorder._on_net,
+    "net-up": SpanRecorder._on_net,
+    "net-drop": SpanRecorder._on_net,
+    "net-giveup": SpanRecorder._on_net,
+    "net-reroute": SpanRecorder._on_net,
+    "drop": SpanRecorder._on_net,
     "failure": SpanRecorder._on_failure,
     "dvfs": SpanRecorder._on_dvfs,
 }
